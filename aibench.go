@@ -1,0 +1,161 @@
+// Package aibench is the public API of the AIBench Training
+// reproduction: a balanced industry-standard AI training benchmark
+// suite (Tang et al., ISPASS 2021) implemented as a pure-Go library.
+//
+// The suite contains the seventeen AIBench component benchmarks
+// (DC-AI-C1..C17) and the seven MLPerf Training benchmarks the paper
+// compares against. Each benchmark couples a scaled, executable model —
+// trained end-to-end through the library's own tensor/autograd/NN
+// stack on synthetic datasets — with the paper-scale architecture used
+// for analytic characterization and GPU-simulator profiling.
+//
+// Typical use:
+//
+//	suite := aibench.NewSuite()
+//	res := suite.Benchmark("DC-AI-C1").RunScaledSession(aibench.SessionConfig{
+//	    Kind: aibench.EntireSession, Seed: 42,
+//	})
+//	fmt.Printf("reached %v in %d epochs\n", res.ReachedGoal, res.Epochs)
+//
+// The report renderers regenerate every table and figure of the
+// paper's evaluation section; see cmd/aibench-report.
+package aibench
+
+import (
+	"io"
+
+	"aibench/internal/core"
+	"aibench/internal/gpusim"
+)
+
+// Suite is the top-level handle: the benchmark registry plus the
+// methodology operations (sessions, subset selection, characterization,
+// cost accounting, reporting).
+type Suite struct {
+	reg *core.Registry
+}
+
+// NewSuite builds the suite with all 24 benchmarks registered.
+func NewSuite() *Suite { return &Suite{reg: core.NewRegistry()} }
+
+// Re-exported core types.
+type (
+	// Benchmark is one component benchmark (metadata + scaled workload).
+	Benchmark = core.Benchmark
+	// SessionConfig configures a scaled training session.
+	SessionConfig = core.SessionConfig
+	// SessionResult reports a scaled training session.
+	SessionResult = core.SessionResult
+	// Characterization is one benchmark's workload characterization.
+	Characterization = core.Characterization
+	// ClusterResult is the Fig 4 clustering outcome.
+	ClusterResult = core.ClusterResult
+	// CostSummary aggregates the benchmarking-cost comparison.
+	CostSummary = core.CostSummary
+	// VariationResult is one Table 5 run-to-run variation row.
+	VariationResult = core.VariationResult
+	// SubsetCandidate is one row of the subset-selection scoring.
+	SubsetCandidate = core.SubsetCandidate
+	// Device describes a simulated GPU.
+	Device = gpusim.Device
+)
+
+// Session kinds.
+const (
+	// EntireSession trains the scaled model until it reaches its quality
+	// target.
+	EntireSession = core.EntireSession
+	// QuasiEntireSession trains a fixed number of epochs.
+	QuasiEntireSession = core.QuasiEntireSession
+)
+
+// TitanXP returns the characterization device of Table 4.
+func TitanXP() Device { return gpusim.TitanXP() }
+
+// TitanRTX returns the training-session device of Table 4.
+func TitanRTX() Device { return gpusim.TitanRTX() }
+
+// AIBench returns the seventeen AIBench component benchmarks in Table 3
+// order.
+func (s *Suite) AIBench() []*Benchmark { return s.reg.AIBench }
+
+// MLPerf returns the seven MLPerf comparison benchmarks.
+func (s *Suite) MLPerf() []*Benchmark { return s.reg.MLPerf }
+
+// All returns every registered benchmark.
+func (s *Suite) All() []*Benchmark { return s.reg.All() }
+
+// Benchmark looks up a benchmark by id (e.g. "DC-AI-C9"); nil if absent.
+func (s *Suite) Benchmark(id string) *Benchmark { return s.reg.ByID(id) }
+
+// Subset returns the paper's minimum subset: Image Classification,
+// Object Detection, and Learning to Rank.
+func (s *Suite) Subset() []*Benchmark { return s.reg.Subset() }
+
+// SelectSubset re-derives the subset from the Section 5.4.1 criteria and
+// returns the per-benchmark scoring table.
+func (s *Suite) SelectSubset() ([]*Benchmark, []SubsetCandidate) { return s.reg.SelectSubset() }
+
+// Costs computes the benchmarking-cost comparison (the 41%/63%/37%
+// savings of Section 5.4.2).
+func (s *Suite) Costs() CostSummary { return s.reg.Costs() }
+
+// Characterize profiles one benchmark's paper-scale model on the device.
+func (s *Suite) Characterize(id string, dev Device) Characterization {
+	return s.Benchmark(id).Characterize(dev)
+}
+
+// CharacterizeAll profiles a benchmark list on the device.
+func CharacterizeAll(bs []*Benchmark, dev Device) []Characterization {
+	return core.CharacterizeSuite(bs, dev)
+}
+
+// Cluster reproduces Fig 4: t-SNE + k-means over the seventeen
+// benchmarks' computation and memory access patterns.
+func (s *Suite) Cluster(k int, seed int64) ClusterResult { return s.reg.ClusterBenchmarks(k, seed) }
+
+// Report renders one named table or figure ("table1".."table7",
+// "figure1a".."figure7") to w; it reports whether the name was known.
+func (s *Suite) Report(name string, w io.Writer, dev Device, seed int64) bool {
+	switch name {
+	case "table1":
+		core.RenderTable1(w)
+	case "table2":
+		core.RenderTable2(w)
+	case "table3":
+		s.reg.RenderTable3(w)
+	case "table4":
+		core.RenderTable4(w)
+	case "table5":
+		s.reg.RenderTable5(w, seed)
+	case "table6":
+		s.reg.RenderTable6(w, gpusim.TitanRTX())
+	case "table7":
+		s.reg.RenderTable7(w, dev)
+	case "figure1a":
+		s.reg.RenderFigure1a(w, dev)
+	case "figure1b", "figure3":
+		s.reg.RenderFigure3(w, dev)
+	case "figure2":
+		s.reg.RenderFigure2(w, dev)
+	case "figure4":
+		s.reg.RenderFigure4(w, seed)
+	case "figure5":
+		s.reg.RenderFigure5(w, dev)
+	case "figure6":
+		s.reg.RenderFigure6(w, dev)
+	case "figure7":
+		s.reg.RenderFigure7(w, dev)
+	default:
+		return false
+	}
+	return true
+}
+
+// ReportNames lists every renderable table/figure name.
+func ReportNames() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"figure1a", "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
+	}
+}

@@ -1,0 +1,76 @@
+package aibench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aibench"
+)
+
+func TestSuiteAPI(t *testing.T) {
+	s := aibench.NewSuite()
+	if len(s.AIBench()) != 17 || len(s.MLPerf()) != 7 || len(s.All()) != 24 {
+		t.Fatalf("suite sizes %d/%d/%d", len(s.AIBench()), len(s.MLPerf()), len(s.All()))
+	}
+	if s.Benchmark("DC-AI-C1") == nil || s.Benchmark("bogus") != nil {
+		t.Fatal("Benchmark lookup broken")
+	}
+	if len(s.Subset()) != 3 {
+		t.Fatalf("subset size %d", len(s.Subset()))
+	}
+}
+
+func TestSuiteScaledSessionThroughAPI(t *testing.T) {
+	s := aibench.NewSuite()
+	res := s.Benchmark("DC-AI-C16").RunScaledSession(aibench.SessionConfig{
+		Kind: aibench.EntireSession, Seed: 42, MaxEpochs: 60,
+	})
+	if !res.ReachedGoal {
+		t.Fatalf("learning-to-rank session missed target: %.3f vs %.3f", res.FinalQuality, res.Target)
+	}
+	if len(res.Losses) != res.Epochs {
+		t.Fatalf("loss trace %d != epochs %d", len(res.Losses), res.Epochs)
+	}
+}
+
+func TestSuiteCostsHeadlines(t *testing.T) {
+	c := aibench.NewSuite().Costs()
+	if c.SubsetVsAIBench < 0.39 || c.SubsetVsAIBench > 0.43 {
+		t.Fatalf("subset savings %.3f, want ≈0.41", c.SubsetVsAIBench)
+	}
+}
+
+func TestSuiteReports(t *testing.T) {
+	s := aibench.NewSuite()
+	for _, name := range aibench.ReportNames() {
+		var buf bytes.Buffer
+		if !s.Report(name, &buf, aibench.TitanXP(), 1) {
+			t.Fatalf("unknown report %s", name)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("report %s produced no output", name)
+		}
+	}
+	var buf bytes.Buffer
+	if s.Report("nonsense", &buf, aibench.TitanXP(), 1) {
+		t.Fatal("unknown report name accepted")
+	}
+}
+
+func TestSuiteCharacterize(t *testing.T) {
+	s := aibench.NewSuite()
+	c := s.Characterize("DC-AI-C3", aibench.TitanXP())
+	if c.MParams < 30 { // Transformer-base scale
+		t.Fatalf("transformer params %.1fM", c.MParams)
+	}
+	if !strings.Contains(c.Task, "Text") {
+		t.Fatalf("task = %q", c.Task)
+	}
+}
+
+func TestDevices(t *testing.T) {
+	if aibench.TitanRTX().PeakGFLOPs() <= aibench.TitanXP().PeakGFLOPs() {
+		t.Fatal("RTX should out-peak XP")
+	}
+}

@@ -1,0 +1,23 @@
+// Command aibench-report regenerates every table and figure of the
+// paper's evaluation section in one pass, separated by headers — the
+// batch mode behind EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aibench"
+)
+
+func main() {
+	suite := aibench.NewSuite()
+	for _, name := range aibench.ReportNames() {
+		fmt.Printf("==== %s ====\n", name)
+		if !suite.Report(name, os.Stdout, aibench.TitanXP(), 1) {
+			fmt.Fprintf(os.Stderr, "internal error: unknown report %q\n", name)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

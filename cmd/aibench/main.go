@@ -1,0 +1,169 @@
+// Command aibench is the suite CLI: list benchmarks, run scaled training
+// sessions, characterize workloads, select the subset, and render the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	aibench list
+//	aibench run <id> [-epochs N] [-seed S] [-quasi]
+//	aibench characterize <id> [-gpu xp|rtx]
+//	aibench subset
+//	aibench costs
+//	aibench report <table1..table7|figure1a..figure7|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aibench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	suite := aibench.NewSuite()
+	switch os.Args[1] {
+	case "list":
+		cmdList(suite)
+	case "run":
+		cmdRun(suite, os.Args[2:])
+	case "characterize":
+		cmdCharacterize(suite, os.Args[2:])
+	case "subset":
+		cmdSubset(suite)
+	case "costs":
+		cmdCosts(suite)
+	case "report":
+		cmdReport(suite, os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|characterize|subset|costs|report> [args]")
+}
+
+func cmdList(s *aibench.Suite) {
+	fmt.Printf("%-12s %-8s %-30s %-36s %s\n", "ID", "Suite", "Task", "Algorithm", "Target")
+	for _, b := range s.All() {
+		marker := " "
+		if b.InSubset() {
+			marker = "*"
+		}
+		fmt.Printf("%-12s %-8s %-30s %-36s %s %s\n", b.ID, b.Suite, b.Task, b.Algorithm, b.Target, marker)
+	}
+	fmt.Println("(* = AIBench subset member)")
+}
+
+func cmdRun(s *aibench.Suite, args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	epochs := fs.Int("epochs", 150, "maximum epochs (entire) or exact epochs (quasi)")
+	seed := fs.Int64("seed", 42, "random seed")
+	quasi := fs.Bool("quasi", false, "run a quasi-entire session (fixed epochs)")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi]")
+		os.Exit(2)
+	}
+	b := s.Benchmark(fs.Arg(0))
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try `aibench list`)\n", fs.Arg(0))
+		os.Exit(1)
+	}
+	kind := aibench.EntireSession
+	if *quasi {
+		kind = aibench.QuasiEntireSession
+	}
+	res := b.RunScaledSession(aibench.SessionConfig{
+		Kind: kind, Seed: *seed, MaxEpochs: *epochs, Log: os.Stdout,
+	})
+	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v\n",
+		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal)
+}
+
+func cmdCharacterize(s *aibench.Suite, args []string) {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	gpu := fs.String("gpu", "xp", "device: xp (Titan XP) or rtx (Titan RTX)")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: aibench characterize <id> [-gpu xp|rtx]")
+		os.Exit(2)
+	}
+	dev := aibench.TitanXP()
+	if *gpu == "rtx" {
+		dev = aibench.TitanRTX()
+	}
+	b := s.Benchmark(fs.Arg(0))
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", fs.Arg(0))
+		os.Exit(1)
+	}
+	c := b.Characterize(dev)
+	fmt.Printf("%s — %s on %s\n", c.ID, c.Task, dev.Name)
+	fmt.Printf("  forward FLOPs: %.2f M   params: %.2f M   epochs-to-quality: %.1f\n", c.MFLOPs, c.MParams, c.Epochs)
+	fmt.Printf("  occupancy=%.3f ipc=%.3f gld=%.3f gst=%.3f dram=%.3f\n",
+		c.Metrics.AchievedOccupancy, c.Metrics.IPCEfficiency,
+		c.Metrics.GldEfficiency, c.Metrics.GstEfficiency, c.Metrics.DramUtilization)
+	fmt.Println("  runtime breakdown:")
+	for cat, share := range c.Shares {
+		fmt.Printf("    %-20s %5.1f%%\n", cat, share*100)
+	}
+	fmt.Println("  top hotspot functions:")
+	for i, h := range c.Hotspots {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("    %-55s %5.1f%% (%d calls)\n", h.Name, h.Share*100, h.Calls)
+	}
+}
+
+func cmdSubset(s *aibench.Suite) {
+	chosen, table := s.SelectSubset()
+	fmt.Printf("%-12s %-28s %-8s %-7s %-9s %s\n", "ID", "Task", "CV", "Metric", "Selected", "Rejection")
+	for _, c := range table {
+		cv := "N/A"
+		if c.CV >= 0 {
+			cv = fmt.Sprintf("%.2f%%", c.CV*100)
+		}
+		fmt.Printf("%-12s %-28s %-8s %-7v %-9v %s\n", c.ID, c.Task, cv, c.HasMetric, c.Selected, c.RejectionNote)
+	}
+	fmt.Print("\nselected subset: ")
+	for _, b := range chosen {
+		fmt.Printf("%s (%s)  ", b.ID, b.Task)
+	}
+	fmt.Println()
+}
+
+func cmdCosts(s *aibench.Suite) {
+	c := s.Costs()
+	fmt.Printf("AIBench full suite: %8.2f h\n", c.AIBenchFullHours)
+	fmt.Printf("MLPerf suite:       %8.2f h\n", c.MLPerfHours)
+	fmt.Printf("AIBench subset:     %8.2f h\n", c.SubsetHours)
+	fmt.Printf("subset vs AIBench:  %8.1f%% saved (paper: 41%%)\n", c.SubsetVsAIBench*100)
+	fmt.Printf("subset vs MLPerf:   %8.1f%% saved (paper: 63%%)\n", c.SubsetVsMLPerf*100)
+	fmt.Printf("AIBench vs MLPerf:  %8.1f%% saved (paper: 37%%)\n", c.AIBenchVsMLPerf*100)
+}
+
+func cmdReport(s *aibench.Suite, args []string) {
+	if len(args) < 1 {
+		fmt.Fprintf(os.Stderr, "usage: aibench report <%v|all>\n", aibench.ReportNames())
+		os.Exit(2)
+	}
+	names := args
+	if args[0] == "all" {
+		names = aibench.ReportNames()
+	}
+	for _, n := range names {
+		if !s.Report(n, os.Stdout, aibench.TitanXP(), 1) {
+			fmt.Fprintf(os.Stderr, "unknown report %q\n", n)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

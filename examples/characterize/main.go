@@ -1,0 +1,48 @@
+// Workload characterization example: the early-design-stage use case the
+// paper's methodology motivates. It profiles three architecturally
+// distinct benchmarks on the simulated TITAN XP and prints their model
+// characteristics, micro-architectural radar, runtime breakdown, and
+// hotspot functions side by side.
+package main
+
+import (
+	"fmt"
+
+	"aibench"
+)
+
+func main() {
+	suite := aibench.NewSuite()
+	dev := aibench.TitanXP()
+	ids := []string{"DC-AI-C1", "DC-AI-C6", "DC-AI-C16"} // CNN vs RNN vs embedding-MLP
+
+	fmt.Printf("Workload characterization on %s\n\n", dev.Name)
+	for _, id := range ids {
+		c := suite.Characterize(id, dev)
+		fmt.Printf("== %s — %s ==\n", c.ID, c.Task)
+		fmt.Printf("  model: %.1f M-FLOPs/sample, %.2f M params, ~%.0f epochs to quality\n",
+			c.MFLOPs, c.MParams, c.Epochs)
+		fmt.Printf("  radar: occ=%.2f ipc=%.2f gld=%.2f gst=%.2f dram=%.2f\n",
+			c.Metrics.AchievedOccupancy, c.Metrics.IPCEfficiency,
+			c.Metrics.GldEfficiency, c.Metrics.GstEfficiency, c.Metrics.DramUtilization)
+		fmt.Printf("  breakdown:")
+		for cat, s := range c.Shares {
+			if s >= 0.02 {
+				fmt.Printf(" %s=%.0f%%", cat, s*100)
+			}
+		}
+		fmt.Println()
+		fmt.Printf("  top hotspots:\n")
+		for i, h := range c.Hotspots {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("    %-55s %5.1f%%\n", h.Name, h.Share*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The three benchmarks expose distinct computation and memory access")
+	fmt.Println("patterns: conv-dominated, GEMM/recurrent, and element-wise-bound —")
+	fmt.Println("the diversity argument behind the full seventeen-benchmark suite.")
+}

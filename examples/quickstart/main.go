@@ -1,0 +1,45 @@
+// Quickstart: run an entire scaled training session of the AIBench
+// subset's cheapest member (Learning to Rank) and of Image
+// Classification, then print the session summaries — the minimal
+// end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aibench"
+)
+
+func main() {
+	suite := aibench.NewSuite()
+
+	fmt.Println("AIBench Training quickstart: scaled entire training sessions")
+	fmt.Println()
+	for _, id := range []string{"DC-AI-C16", "DC-AI-C1"} {
+		b := suite.Benchmark(id)
+		fmt.Printf("== %s: %s (%s on %s) ==\n", b.ID, b.Task, b.Algorithm, b.Dataset)
+		res := b.RunScaledSession(aibench.SessionConfig{
+			Kind:      aibench.EntireSession,
+			Seed:      42,
+			MaxEpochs: 80,
+		})
+		status := "converged"
+		if !res.ReachedGoal {
+			status = "did not converge"
+		}
+		fmt.Printf("  %s after %d epochs: quality %.4f (target %.4f)\n",
+			status, res.Epochs, res.FinalQuality, res.Target)
+		fmt.Printf("  first-epoch loss %.4f -> last-epoch loss %.4f\n\n",
+			res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+
+	// The same API drives the methodology-level queries.
+	c := suite.Costs()
+	fmt.Printf("benchmarking cost: full suite %.0f h, subset %.0f h (%.0f%% saved)\n",
+		c.AIBenchFullHours, c.SubsetHours, c.SubsetVsAIBench*100)
+	if c.SubsetVsAIBench < 0.35 {
+		fmt.Fprintln(os.Stderr, "unexpected cost arithmetic")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Subset-selection example: reproduce the Section 5.4 methodology end to
+// end — apply the selection criteria, validate the choice with the
+// Fig 4 clustering, and print the benchmarking-cost savings.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aibench"
+)
+
+func main() {
+	suite := aibench.NewSuite()
+
+	chosen, table := suite.SelectSubset()
+	fmt.Println("Subset selection (criteria: diversity coverage, CV < 2%, accepted metric):")
+	for _, c := range table {
+		status := "  "
+		if c.Selected {
+			status = "->"
+		}
+		note := c.RejectionNote
+		if note == "" && !c.Selected {
+			note = "eligible, redundant coverage"
+		}
+		cv := "  N/A"
+		if c.CV >= 0 {
+			cv = fmt.Sprintf("%5.2f%%", c.CV*100)
+		}
+		fmt.Printf(" %s %-11s %-28s CV=%s bins(F/P/E)=%d/%d/%d %s\n",
+			status, c.ID, c.Task, cv, c.FLOPsBin, c.ParamsBin, c.EpochsBin, note)
+	}
+	fmt.Print("\nchosen: ")
+	for _, b := range chosen {
+		fmt.Printf("%s ", b.Task)
+	}
+	fmt.Println("(paper: Image Classification, Object Detection, Learning to Rank)")
+
+	// Fig 4 validation: the subset must cover all three behaviour
+	// clusters.
+	res := suite.Cluster(3, 1)
+	fmt.Printf("\ncluster validation: k=%d silhouette=%.3f subset-covers-all=%v\n",
+		res.K, res.Silhouette, res.SubsetCoversAll)
+	for id, cl := range res.SubsetClusters {
+		fmt.Printf("  %s -> cluster %d\n", id, cl)
+	}
+	if !res.SubsetCoversAll {
+		fmt.Fprintln(os.Stderr, "subset does not cover all clusters")
+		os.Exit(1)
+	}
+
+	c := suite.Costs()
+	fmt.Printf("\ncost: subset %.0f h vs full %.0f h (%.0f%% saved; paper 41%%)\n",
+		c.SubsetHours, c.AIBenchFullHours, c.SubsetVsAIBench*100)
+}

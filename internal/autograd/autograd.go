@@ -1,0 +1,153 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over the tensor package. Each operation builds a node in
+// a dynamic computation graph; calling Backward on a scalar output
+// topologically sorts the graph and propagates gradients to every Value
+// that requires them.
+//
+// The design mirrors how define-by-run frameworks (PyTorch) execute the
+// AIBench workloads: the graph is rebuilt on every forward pass, so
+// recurrent and data-dependent control flow works naturally.
+package autograd
+
+import (
+	"fmt"
+
+	"aibench/internal/tensor"
+)
+
+// Value is a node in the computation graph: a tensor plus the bookkeeping
+// needed to differentiate through the operation that produced it.
+type Value struct {
+	Data         *tensor.Tensor
+	Grad         *tensor.Tensor
+	requiresGrad bool
+	parents      []*Value
+	// back propagates this node's gradient into its parents. It must
+	// accumulate (+=) into parent gradients, never overwrite.
+	back func(grad *tensor.Tensor)
+	op   string
+}
+
+// Var wraps a tensor as a differentiable graph leaf (a trainable
+// parameter or an input we want gradients for).
+func Var(t *tensor.Tensor) *Value {
+	return &Value{Data: t, requiresGrad: true, op: "var"}
+}
+
+// Const wraps a tensor as a non-differentiable graph leaf.
+func Const(t *tensor.Tensor) *Value {
+	return &Value{Data: t, op: "const"}
+}
+
+// RequiresGrad reports whether gradients flow into v.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// Shape returns the shape of the underlying tensor.
+func (v *Value) Shape() []int { return v.Data.Shape() }
+
+// Op returns the name of the operation that produced v (for debugging and
+// graph statistics).
+func (v *Value) Op() string { return v.op }
+
+// Item returns the single element of a scalar Value.
+func (v *Value) Item() float64 {
+	if v.Data.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Item on non-scalar value of shape %v", v.Data.Shape()))
+	}
+	return v.Data.Data[0]
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Value) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+// accumGrad adds g into v's gradient buffer, allocating it on first use.
+func (v *Value) accumGrad(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Shape()...)
+	}
+	tensor.AddInPlace(v.Grad, g)
+}
+
+// newNode builds an interior graph node. requiresGrad is inherited from
+// parents; back is only retained when some parent needs gradients.
+func newNode(op string, data *tensor.Tensor, back func(grad *tensor.Tensor), parents ...*Value) *Value {
+	need := false
+	for _, p := range parents {
+		if p.requiresGrad {
+			need = true
+			break
+		}
+	}
+	n := &Value{Data: data, op: op, parents: parents, requiresGrad: need}
+	if need {
+		n.back = back
+	}
+	return n
+}
+
+// Backward runs reverse-mode differentiation from v, which must be a
+// scalar. Gradients accumulate into every reachable Value with
+// requiresGrad set.
+func (v *Value) Backward() {
+	if v.Data.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Backward requires a scalar output, got shape %v", v.Data.Shape()))
+	}
+	seed := tensor.Ones(v.Data.Shape()...)
+	v.BackwardWith(seed)
+}
+
+// BackwardWith runs reverse-mode differentiation seeding v's gradient with
+// the given tensor (vector-Jacobian product).
+func (v *Value) BackwardWith(seed *tensor.Tensor) {
+	if !v.Data.SameShape(seed) {
+		panic(fmt.Sprintf("autograd: seed shape %v != value shape %v", seed.Shape(), v.Data.Shape()))
+	}
+	order := topoSort(v)
+	v.accumGrad(seed)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.back != nil && n.Grad != nil {
+			n.back(n.Grad)
+		}
+	}
+}
+
+// topoSort returns the graph nodes reachable from root in topological
+// order (parents before children). Iterative DFS so deep recurrent graphs
+// do not overflow the goroutine stack.
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	visited := make(map[*Value]bool)
+	type frame struct {
+		node *Value
+		next int
+	}
+	stack := []frame{{root, 0}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.parents) {
+			p := f.node.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// GraphSize returns the number of nodes reachable from v that participate
+// in gradient computation. Used by tests and the profiler.
+func GraphSize(v *Value) int { return len(topoSort(v)) }

@@ -1,0 +1,246 @@
+package autograd
+
+import (
+	"fmt"
+
+	"aibench/internal/tensor"
+)
+
+// MatMul multiplies two 2-D Values.
+func MatMul(a, b *Value) *Value {
+	out := tensor.MatMul(a.Data, b.Data)
+	return newNode("matmul", out, func(g *tensor.Tensor) {
+		// dA = G·Bᵀ, dB = Aᵀ·G
+		a.accumGrad(tensor.MatMulT(g, b.Data))
+		b.accumGrad(tensor.TMatMul(a.Data, g))
+	}, a, b)
+}
+
+// AddRowVector adds bias vector v to every row of 2-D a.
+func AddRowVector(a, v *Value) *Value {
+	out := tensor.AddRowVector(a.Data, v.Data)
+	return newNode("addrow", out, func(g *tensor.Tensor) {
+		a.accumGrad(g)
+		v.accumGrad(tensor.SumRows(g))
+	}, a, v)
+}
+
+// AddChannelVector adds a per-channel bias to an NCHW Value.
+func AddChannelVector(a, v *Value) *Value {
+	out := tensor.AddChannelVector(a.Data, v.Data)
+	return newNode("addchan", out, func(g *tensor.Tensor) {
+		a.accumGrad(g)
+		v.accumGrad(tensor.SumChannels(g))
+	}, a, v)
+}
+
+// Reshape returns a view of a with a new shape; gradients flow back
+// reshaped to a's original shape.
+func Reshape(a *Value, shape ...int) *Value {
+	out := a.Data.Reshape(shape...)
+	return newNode("reshape", out, func(g *tensor.Tensor) {
+		a.accumGrad(g.Reshape(a.Data.Shape()...))
+	}, a)
+}
+
+// Transpose transposes a 2-D Value.
+func Transpose(a *Value) *Value {
+	out := tensor.Transpose(a.Data)
+	return newNode("transpose", out, func(g *tensor.Tensor) {
+		a.accumGrad(tensor.Transpose(g))
+	}, a)
+}
+
+// Concat concatenates Values along dimension 0.
+func Concat(vs ...*Value) *Value {
+	ts := make([]*tensor.Tensor, len(vs))
+	for i, v := range vs {
+		ts[i] = v.Data
+	}
+	out := tensor.Concat(ts...)
+	return newNode("concat", out, func(g *tensor.Tensor) {
+		off := 0
+		for _, v := range vs {
+			n := v.Data.Dim(0)
+			v.accumGrad(g.SliceRows(off, off+n))
+			off += n
+		}
+	}, vs...)
+}
+
+// ConcatCols concatenates 2-D Values along dimension 1 (columns). Used to
+// join recurrent hidden states with inputs.
+func ConcatCols(vs ...*Value) *Value {
+	rows := vs[0].Data.Dim(0)
+	total := 0
+	for _, v := range vs {
+		if v.Data.Rank() != 2 || v.Data.Dim(0) != rows {
+			panic(fmt.Sprintf("autograd: ConcatCols shape mismatch %v", v.Data.Shape()))
+		}
+		total += v.Data.Dim(1)
+	}
+	out := tensor.New(rows, total)
+	off := 0
+	for _, v := range vs {
+		c := v.Data.Dim(1)
+		for r := 0; r < rows; r++ {
+			copy(out.Data[r*total+off:r*total+off+c], v.Data.Data[r*c:(r+1)*c])
+		}
+		off += c
+	}
+	return newNode("concatcols", out, func(g *tensor.Tensor) {
+		off := 0
+		for _, v := range vs {
+			c := v.Data.Dim(1)
+			gv := tensor.New(rows, c)
+			for r := 0; r < rows; r++ {
+				copy(gv.Data[r*c:(r+1)*c], g.Data[r*total+off:r*total+off+c])
+			}
+			v.accumGrad(gv)
+			off += c
+		}
+	}, vs...)
+}
+
+// SliceRows extracts rows [lo,hi) along dimension 0.
+func SliceRows(a *Value, lo, hi int) *Value {
+	out := a.Data.SliceRows(lo, hi)
+	return newNode("slicerows", out, func(g *tensor.Tensor) {
+		ga := tensor.New(a.Data.Shape()...)
+		rowVol := 1
+		for _, d := range a.Data.Shape()[1:] {
+			rowVol *= d
+		}
+		copy(ga.Data[lo*rowVol:hi*rowVol], g.Data)
+		a.accumGrad(ga)
+	}, a)
+}
+
+// SliceCols extracts columns [lo,hi) of a 2-D Value.
+func SliceCols(a *Value, lo, hi int) *Value {
+	if a.Data.Rank() != 2 {
+		panic("autograd: SliceCols requires 2-D input")
+	}
+	rows, cols := a.Data.Dim(0), a.Data.Dim(1)
+	if lo < 0 || hi > cols || lo > hi {
+		panic(fmt.Sprintf("autograd: SliceCols [%d,%d) out of bounds for %d cols", lo, hi, cols))
+	}
+	w := hi - lo
+	out := tensor.New(rows, w)
+	for r := 0; r < rows; r++ {
+		copy(out.Data[r*w:(r+1)*w], a.Data.Data[r*cols+lo:r*cols+hi])
+	}
+	return newNode("slicecols", out, func(g *tensor.Tensor) {
+		ga := tensor.New(rows, cols)
+		for r := 0; r < rows; r++ {
+			copy(ga.Data[r*cols+lo:r*cols+hi], g.Data[r*w:(r+1)*w])
+		}
+		a.accumGrad(ga)
+	}, a)
+}
+
+// Gather selects rows of the 2-D weight matrix by index: the embedding
+// lookup. Backward scatter-adds into the weight gradient.
+func Gather(weight *Value, ids []int) *Value {
+	if weight.Data.Rank() != 2 {
+		panic("autograd: Gather requires a 2-D weight matrix")
+	}
+	vocab, dim := weight.Data.Dim(0), weight.Data.Dim(1)
+	out := tensor.New(len(ids), dim)
+	for i, id := range ids {
+		if id < 0 || id >= vocab {
+			panic(fmt.Sprintf("autograd: Gather index %d out of vocab %d", id, vocab))
+		}
+		copy(out.Data[i*dim:(i+1)*dim], weight.Data.Data[id*dim:(id+1)*dim])
+	}
+	return newNode("gather", out, func(g *tensor.Tensor) {
+		gw := tensor.New(vocab, dim)
+		for i, id := range ids {
+			for d := 0; d < dim; d++ {
+				gw.Data[id*dim+d] += g.Data[i*dim+d]
+			}
+		}
+		weight.accumGrad(gw)
+	}, weight)
+}
+
+// ConcatChannels concatenates two NCHW Values along the channel
+// dimension.
+func ConcatChannels(a, b *Value) *Value {
+	as, bs := a.Data.Shape(), b.Data.Shape()
+	if len(as) != 4 || len(bs) != 4 || as[0] != bs[0] || as[2] != bs[2] || as[3] != bs[3] {
+		panic(fmt.Sprintf("autograd: ConcatChannels shapes %v and %v incompatible", as, bs))
+	}
+	n, ca, cb, h, w := as[0], as[1], bs[1], as[2], as[3]
+	plane := h * w
+	out := tensor.New(n, ca+cb, h, w)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(ca+cb)*plane:], a.Data.Data[i*ca*plane:(i+1)*ca*plane])
+		copy(out.Data[(i*(ca+cb)+ca)*plane:], b.Data.Data[i*cb*plane:(i+1)*cb*plane])
+	}
+	return newNode("concatchan", out, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			ga := tensor.New(as...)
+			for i := 0; i < n; i++ {
+				copy(ga.Data[i*ca*plane:(i+1)*ca*plane], g.Data[i*(ca+cb)*plane:])
+			}
+			a.accumGrad(ga)
+		}
+		if b.requiresGrad {
+			gb := tensor.New(bs...)
+			for i := 0; i < n; i++ {
+				copy(gb.Data[i*cb*plane:(i+1)*cb*plane], g.Data[(i*(ca+cb)+ca)*plane:])
+			}
+			b.accumGrad(gb)
+		}
+	}, a, b)
+}
+
+// GatherCols selects columns of a 2-D Value by index, producing a
+// [rows, len(idx)] Value. Backward scatter-adds into the selected
+// columns. Used to regroup channel-major detector head outputs.
+func GatherCols(a *Value, idx []int) *Value {
+	if a.Data.Rank() != 2 {
+		panic("autograd: GatherCols requires 2-D input")
+	}
+	rows, cols := a.Data.Dim(0), a.Data.Dim(1)
+	w := len(idx)
+	out := tensor.New(rows, w)
+	for _, j := range idx {
+		if j < 0 || j >= cols {
+			panic(fmt.Sprintf("autograd: GatherCols index %d out of %d cols", j, cols))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for k, j := range idx {
+			out.Data[r*w+k] = a.Data.Data[r*cols+j]
+		}
+	}
+	return newNode("gathercols", out, func(g *tensor.Tensor) {
+		ga := tensor.New(rows, cols)
+		for r := 0; r < rows; r++ {
+			for k, j := range idx {
+				ga.Data[r*cols+j] += g.Data[r*w+k]
+			}
+		}
+		a.accumGrad(ga)
+	}, a)
+}
+
+// RowsMean averages a 2-D Value over its rows producing a 1-D Value of
+// length cols. Used for sequence pooling.
+func RowsMean(a *Value) *Value {
+	rows := a.Data.Dim(0)
+	out := tensor.SumRows(a.Data)
+	tensor.ScaleInPlace(out, 1/float64(rows))
+	return newNode("rowsmean", out, func(g *tensor.Tensor) {
+		cols := a.Data.Dim(1)
+		ga := tensor.New(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				ga.Data[r*cols+c] = g.Data[c] / float64(rows)
+			}
+		}
+		a.accumGrad(ga)
+	}, a)
+}

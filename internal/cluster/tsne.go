@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TSNEConfig controls the t-SNE embedding.
+type TSNEConfig struct {
+	Perplexity   float64 // effective neighbour count (paper default 30; small sets want 2-5)
+	Iterations   int     // gradient-descent iterations
+	LearningRate float64
+	Seed         int64
+}
+
+// DefaultTSNEConfig returns settings suitable for embedding the 17
+// AIBench benchmarks (a very small point set, so the learning rate is far
+// below the n≈10³ defaults of the reference implementation).
+func DefaultTSNEConfig() TSNEConfig {
+	return TSNEConfig{Perplexity: 4, Iterations: 500, LearningRate: 10, Seed: 1}
+}
+
+// TSNE embeds high-dimensional points into 2-D with t-distributed
+// stochastic neighbour embedding (van der Maaten & Hinton), the technique
+// the paper uses for Fig 4. It performs the standard pipeline: pairwise
+// affinities with per-point perplexity calibration via binary search on
+// the Gaussian bandwidth, symmetrization, early exaggeration, and
+// momentum gradient descent on the Kullback-Leibler divergence.
+func TSNE(points [][]float64, cfg TSNEConfig) [][]float64 {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return [][]float64{{0, 0}}
+	}
+	P := affinities(points, cfg.Perplexity)
+	// Symmetrize and normalize.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (P[i][j] + P[j][i]) / (2 * float64(n))
+			P[i][j], P[j][i] = v, v
+		}
+		P[i][i] = 0
+	}
+	// Early exaggeration.
+	const exaggeration = 4.0
+	exaggerationIters := cfg.Iterations / 4
+	for i := range P {
+		for j := range P[i] {
+			P[i][j] *= exaggeration
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	Y := make([][]float64, n)
+	vel := make([][]float64, n)
+	gains := make([][]float64, n)
+	for i := range Y {
+		Y[i] = []float64{1e-2 * rng.NormFloat64(), 1e-2 * rng.NormFloat64()}
+		vel[i] = []float64{0, 0}
+		gains[i] = []float64{1, 1}
+	}
+
+	Q := make([][]float64, n)
+	num := make([][]float64, n)
+	for i := range Q {
+		Q[i] = make([]float64, n)
+		num[i] = make([]float64, n)
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if iter == exaggerationIters {
+			for i := range P {
+				for j := range P[i] {
+					P[i][j] /= exaggeration
+				}
+			}
+		}
+		// Student-t joint probabilities in the embedding.
+		total := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := sqDist(Y[i], Y[j])
+				v := 1 / (1 + d)
+				num[i][j], num[j][i] = v, v
+				total += 2 * v
+			}
+		}
+		if total == 0 {
+			total = 1e-12
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				Q[i][j] = math.Max(num[i][j]/total, 1e-12)
+			}
+		}
+		// Gradient: 4 Σ_j (p_ij − q_ij)(y_i − y_j)/(1+||y_i−y_j||²).
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+		for i := 0; i < n; i++ {
+			var g [2]float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mult := 4 * (P[i][j] - Q[i][j]) * num[i][j]
+				g[0] += mult * (Y[i][0] - Y[j][0])
+				g[1] += mult * (Y[i][1] - Y[j][1])
+			}
+			for d := 0; d < 2; d++ {
+				// Adaptive per-coordinate gains (van der Maaten's
+				// reference scheme) keep the descent stable.
+				if (g[d] > 0) != (vel[i][d] > 0) {
+					gains[i][d] += 0.2
+				} else {
+					gains[i][d] *= 0.8
+				}
+				if gains[i][d] < 0.01 {
+					gains[i][d] = 0.01
+				}
+				vel[i][d] = momentum*vel[i][d] - cfg.LearningRate*gains[i][d]*g[d]
+				Y[i][d] += vel[i][d]
+			}
+		}
+		// Re-center to keep the embedding bounded.
+		var mx, my float64
+		for i := range Y {
+			mx += Y[i][0]
+			my += Y[i][1]
+		}
+		mx /= float64(n)
+		my /= float64(n)
+		for i := range Y {
+			Y[i][0] -= mx
+			Y[i][1] -= my
+		}
+	}
+	return Y
+}
+
+// affinities computes the conditional probabilities p_{j|i} with the
+// Gaussian bandwidth of each point tuned by binary search so the
+// distribution's perplexity matches the target.
+func affinities(points [][]float64, perplexity float64) [][]float64 {
+	n := len(points)
+	target := math.Log(perplexity)
+	P := make([][]float64, n)
+	D := make([][]float64, n)
+	for i := range D {
+		D[i] = make([]float64, n)
+		for j := range D[i] {
+			if i != j {
+				D[i][j] = sqDist(points[i], points[j])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		P[i] = make([]float64, n)
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for it := 0; it < 64; it++ {
+			// Compute entropy at this beta.
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				P[i][j] = math.Exp(-D[i][j] * beta)
+				sum += P[i][j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			h := 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				P[i][j] /= sum
+				if P[i][j] > 1e-12 {
+					h -= P[i][j] * math.Log(P[i][j])
+				}
+			}
+			if math.Abs(h-target) < 1e-5 {
+				break
+			}
+			if h > target {
+				lo = beta
+				if hi >= 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+	}
+	return P
+}

@@ -1,0 +1,81 @@
+package core
+
+// Static comparison data: Table 1 (suite coverage matrix) and Table 2
+// (Internet-service scenarios to AI problem domains).
+
+// SuiteSupport marks which suites cover a task's training benchmark.
+type SuiteSupport struct {
+	Task      string
+	InSubset  bool // "" marker in Table 1
+	AIBench   bool
+	MLPerf    bool
+	Fathom    bool
+	DeepBench bool
+	DNNMark   bool
+	DAWNBench bool
+	TBD       bool
+}
+
+// Table1 returns the training-side comparison matrix of Table 1.
+func Table1() []SuiteSupport {
+	return []SuiteSupport{
+		{Task: "Image classification", InSubset: true, AIBench: true, MLPerf: true, Fathom: true, DAWNBench: true, TBD: true},
+		{Task: "Image generation", AIBench: true, TBD: true},
+		{Task: "Text-to-Text translation", AIBench: true, MLPerf: true, Fathom: true, TBD: true},
+		{Task: "Image-to-Text", AIBench: true},
+		{Task: "Image-to-Image", AIBench: true},
+		{Task: "Speech recognition", AIBench: true, Fathom: true, TBD: true},
+		{Task: "Face embedding", AIBench: true},
+		{Task: "3D Face Recognition", AIBench: true},
+		{Task: "Object detection", InSubset: true, AIBench: true, MLPerf: true, TBD: true},
+		{Task: "Recommendation", AIBench: true, MLPerf: true, TBD: true},
+		{Task: "Video prediction", AIBench: true},
+		{Task: "Image compression", AIBench: true, Fathom: true},
+		{Task: "3D object reconstruction", AIBench: true},
+		{Task: "Text summarization", AIBench: true},
+		{Task: "Spatial transformer", AIBench: true},
+		{Task: "Learning to rank", InSubset: true, AIBench: true},
+		{Task: "Neural architecture search", AIBench: true},
+		{Task: "Games", MLPerf: true, Fathom: true, TBD: true},
+		{Task: "Memory network", Fathom: true},
+		{Task: "Question answering", DAWNBench: true},
+	}
+}
+
+// Scenario maps one Internet-service core scenario to its AI problem
+// domains (Table 2).
+type Scenario struct {
+	Service  string
+	Scenario string
+	Domains  []string
+}
+
+// Table2 returns the representative AI tasks in Internet service domains.
+func Table2() []Scenario {
+	return []Scenario{
+		{"Search Engine", "Content-based image retrieval", []string{"Object detection", "Classification", "Spatial transformer", "Face embedding", "3D face recognition"}},
+		{"Search Engine", "Advertising and recommendation", []string{"Recommendation"}},
+		{"Search Engine", "Maps search and translation", []string{"3D object reconstruction", "Text-to-Text translation", "Speech recognition", "Neural architecture search"}},
+		{"Search Engine", "Data annotation and caption", []string{"Text summarization", "Image-to-Text"}},
+		{"Search Engine", "Search result ranking", []string{"Learning to rank"}},
+		{"Search Engine", "Image resolution enhancement", []string{"Image generation", "Image-to-Image"}},
+		{"Search Engine", "Data storage and transfer optimization", []string{"Image compression", "Video prediction"}},
+		{"Social Network", "Friend or community recommendation", []string{"Recommendation", "Face embedding", "3D face recognition"}},
+		{"Social Network", "Vertical search", []string{"Classification", "Spatial transformer", "Object detection"}},
+		{"Social Network", "Language translation", []string{"Text-to-Text translation", "Neural architecture search"}},
+		{"Social Network", "Automated data annotation and caption", []string{"Text summarization", "Image-to-Text", "Speech recognition"}},
+		{"Social Network", "Anomaly detection", []string{"Classification"}},
+		{"Social Network", "Image resolution enhancement", []string{"Image generation", "Image-to-Image"}},
+		{"Social Network", "Photogrammetry (3D scanning)", []string{"3D object reconstruction"}},
+		{"Social Network", "Data storage and transfer optimization", []string{"Image compression", "Video prediction"}},
+		{"Social Network", "News feed ranking", []string{"Learning to rank"}},
+		{"E-commerce", "Product searching", []string{"Classification", "Spatial transformer", "Object detection"}},
+		{"E-commerce", "Product recommendation and advertising", []string{"Recommendation"}},
+		{"E-commerce", "Language and dialogue translation", []string{"Text-to-Text translation", "Speech recognition", "Neural architecture search"}},
+		{"E-commerce", "Automated data annotation and caption", []string{"Text summarization", "Image-to-Text"}},
+		{"E-commerce", "Virtual reality", []string{"3D object reconstruction", "Image generation", "Image-to-Image"}},
+		{"E-commerce", "Data storage and transfer optimization", []string{"Image compression", "Video prediction"}},
+		{"E-commerce", "Product ranking", []string{"Learning to rank"}},
+		{"E-commerce", "Facial authentication and payment", []string{"Face embedding", "3D face recognition"}},
+	}
+}

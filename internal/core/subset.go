@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"aibench/internal/cluster"
+	"aibench/internal/gpusim"
+	"aibench/internal/stats"
+)
+
+// Subset selection (Section 5.4): keep the benchmark subset to a minimum
+// while (1) covering the diversity of model complexity, computational
+// cost, and convergence rate, (2) admitting only repeatable benchmarks
+// (run-to-run variation under 2%), and (3) requiring a widely accepted
+// quality metric. The paper's outcome is {Image Classification, Object
+// Detection, Learning to Rank}; SelectSubset re-derives it from the
+// registry data.
+
+// SubsetCandidate scores one benchmark against the selection criteria.
+type SubsetCandidate struct {
+	ID            string
+	Task          string
+	CV            float64
+	HasMetric     bool
+	Repeatable    bool // CV < 2%
+	FLOPsBin      int  // 0 small, 1 medium, 2 large
+	ParamsBin     int
+	EpochsBin     int
+	Selected      bool
+	RejectionNote string
+}
+
+// SelectSubset applies the Section 5.4.1 criteria and returns the chosen
+// subset plus the full candidate scoring table.
+func (r *Registry) SelectSubset() (chosen []*Benchmark, table []SubsetCandidate) {
+	cs := CharacterizeSuite(r.AIBench, gpusim.TitanXP())
+
+	// Tertile bins over log-scale FLOPs/params and epochs.
+	flops := make([]float64, len(cs))
+	params := make([]float64, len(cs))
+	epochs := make([]float64, len(cs))
+	for i, c := range cs {
+		flops[i] = c.MFLOPs
+		params[i] = c.MParams
+		epochs[i] = c.Epochs
+	}
+	binOf := func(v float64, all []float64) int {
+		lo := stats.Quantile(all, 1.0/3)
+		hi := stats.Quantile(all, 2.0/3)
+		switch {
+		case v < lo:
+			return 0
+		case v < hi:
+			return 1
+		default:
+			return 2
+		}
+	}
+
+	for i, b := range r.AIBench {
+		cand := SubsetCandidate{
+			ID: b.ID, Task: b.Task, CV: b.VariationCV, HasMetric: b.HasAcceptedMetric,
+			Repeatable: b.VariationCV >= 0 && b.VariationCV < 0.02,
+			FLOPsBin:   binOf(flops[i], flops),
+			ParamsBin:  binOf(params[i], params),
+			EpochsBin:  binOf(epochs[i], epochs),
+		}
+		switch {
+		case !cand.HasMetric:
+			cand.RejectionNote = "no widely accepted metric (GAN-based)"
+		case !cand.Repeatable:
+			cand.RejectionNote = "run-to-run variation >= 2%"
+		}
+		table = append(table, cand)
+	}
+
+	// Eligible candidates sorted by CV; greedily pick those that extend
+	// complexity/cost/convergence coverage until the three coverage axes
+	// span distinct bins (the "minimum subset" condition).
+	order := make([]int, 0, len(table))
+	for i, c := range table {
+		if c.RejectionNote == "" {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return table[order[a]].CV < table[order[b]].CV })
+
+	covered := map[[3]int]bool{}
+	var chosenIdx []int
+	for _, i := range order {
+		key := [3]int{table[i].FLOPsBin, table[i].ParamsBin, table[i].EpochsBin}
+		redundant := false
+		for _, j := range chosenIdx {
+			if table[j].FLOPsBin == key[0] && table[j].ParamsBin == key[1] && table[j].EpochsBin == key[2] {
+				redundant = true
+				break
+			}
+		}
+		if redundant || covered[key] {
+			continue
+		}
+		covered[key] = true
+		chosenIdx = append(chosenIdx, i)
+		table[i].Selected = true
+		if len(chosenIdx) == 3 {
+			break
+		}
+	}
+	for _, i := range chosenIdx {
+		chosen = append(chosen, r.AIBench[i])
+	}
+	return chosen, table
+}
+
+// ClusterResult is the Fig 4 reproduction: the 2-D t-SNE embedding of
+// the seventeen benchmarks' micro-architectural vectors and the cluster
+// assignment.
+type ClusterResult struct {
+	IDs        []string
+	Embedding  [][]float64
+	Assignment []int
+	K          int
+	Silhouette float64
+	// SubsetClusters maps each subset benchmark id to its cluster.
+	SubsetClusters map[string]int
+	// SubsetCoversAll reports whether the three subset members land in
+	// three different clusters (the paper's Fig 4 finding).
+	SubsetCoversAll bool
+}
+
+// ClusterBenchmarks embeds the AIBench benchmarks with t-SNE and
+// clusters the embedding into k groups.
+func (r *Registry) ClusterBenchmarks(k int, seed int64) ClusterResult {
+	cs := CharacterizeSuite(r.AIBench, gpusim.TitanXP())
+	ids, _ := MetricVectors(cs)
+	// The clustering features follow Section 5.2.2's "computation and
+	// memory access patterns": each benchmark's boundedness signature —
+	// the runtime fractions spent in compute kernels (conv+gemm), in
+	// bandwidth-bound kernels (element-wise, relu, batchnorm, pooling,
+	// memcpy), and in data-arrangement kernels — plus its DRAM
+	// utilization and IPC efficiency. The five-metric vectors drive the
+	// t-SNE visualization.
+	feats := make([][]float64, len(cs))
+	for i, c := range cs {
+		compute := c.Shares[gpusim.Convolution] + c.Shares[gpusim.GEMM]
+		memory := c.Shares[gpusim.Elementwise] + c.Shares[gpusim.ReluCat] +
+			c.Shares[gpusim.BatchNormCat] + c.Shares[gpusim.Pooling] + c.Shares[gpusim.MemcpyCat]
+		arrange := c.Shares[gpusim.DataArrangement]
+		feats[i] = []float64{compute, memory, arrange, c.Metrics.DramUtilization, c.Metrics.IPCEfficiency}
+	}
+	// Standardize each axis.
+	for d := 0; d < len(feats[0]); d++ {
+		col := make([]float64, len(feats))
+		for i := range feats {
+			col[i] = feats[i][d]
+		}
+		stats.Normalize(col)
+		for i := range feats {
+			feats[i][d] = col[i]
+		}
+	}
+	// Visualization coordinates come from t-SNE (the Fig 4 plot); the
+	// cluster assignment runs on the standardized metric vectors, with
+	// restarts keeping the best silhouette (17 points are few enough
+	// that a single k-means seeding is unstable).
+	cfg := cluster.DefaultTSNEConfig()
+	cfg.Seed = seed
+	emb := cluster.TSNE(feats, cfg)
+	rng := rand.New(rand.NewSource(seed))
+	var assign []int
+	bestSil := -2.0
+	for restart := 0; restart < 16; restart++ {
+		a, _ := cluster.KMeans(rng, feats, k, 100)
+		if s := cluster.Silhouette(feats, a, k); s > bestSil {
+			bestSil, assign = s, a
+		}
+	}
+	res := ClusterResult{
+		IDs: ids, Embedding: emb, Assignment: assign, K: k,
+		Silhouette:     bestSil,
+		SubsetClusters: map[string]int{},
+	}
+	subsetIDs := map[string]bool{"DC-AI-C1": true, "DC-AI-C9": true, "DC-AI-C16": true}
+	seen := map[int]bool{}
+	res.SubsetCoversAll = true
+	for i, id := range ids {
+		if subsetIDs[id] {
+			res.SubsetClusters[id] = assign[i]
+			if seen[assign[i]] {
+				res.SubsetCoversAll = false
+			}
+			seen[assign[i]] = true
+		}
+	}
+	return res
+}

@@ -1,0 +1,152 @@
+package gpusim
+
+import (
+	"sort"
+
+	"aibench/internal/workload"
+)
+
+// Profile is the nvprof-like record of one simulated training iteration.
+type Profile struct {
+	Device    Device
+	Kernels   []Kernel
+	TotalTime float64 // seconds per iteration
+}
+
+// Run lowers the model, executes every kernel on the device, and returns
+// the aggregated profile.
+func Run(m workload.Model, batch int, training bool, dev Device) *Profile {
+	ks := Lower(m, batch, training)
+	total := 0.0
+	for i := range ks {
+		Execute(&ks[i], dev)
+		total += ks[i].Time
+	}
+	return &Profile{Device: dev, Kernels: ks, TotalTime: total}
+}
+
+// CategoryShares returns each kernel category's fraction of total
+// runtime — one bar of Fig 5.
+func (p *Profile) CategoryShares() map[Category]float64 {
+	shares := make(map[Category]float64)
+	for _, k := range p.Kernels {
+		shares[k.Category] += k.Time
+	}
+	if p.TotalTime > 0 {
+		for c := range shares {
+			shares[c] /= p.TotalTime
+		}
+	}
+	return shares
+}
+
+// WeightedMetrics returns the time-weighted mean of the five
+// micro-architectural metrics — one radar of Fig 3.
+func (p *Profile) WeightedMetrics() Metrics {
+	var m Metrics
+	if p.TotalTime == 0 {
+		return m
+	}
+	for _, k := range p.Kernels {
+		w := k.Time / p.TotalTime
+		m.AchievedOccupancy += w * k.Metrics.AchievedOccupancy
+		m.IPCEfficiency += w * k.Metrics.IPCEfficiency
+		m.GldEfficiency += w * k.Metrics.GldEfficiency
+		m.GstEfficiency += w * k.Metrics.GstEfficiency
+		m.DramUtilization += w * k.Metrics.DramUtilization
+	}
+	return m
+}
+
+// Hotspot is one function's share of total runtime.
+type Hotspot struct {
+	Name     string
+	Category Category
+	Share    float64 // fraction of total runtime
+	Calls    int
+}
+
+// Hotspots aggregates kernels by function name, sorted by descending
+// share — the census behind Fig 6 and Table 7.
+func (p *Profile) Hotspots() []Hotspot {
+	type agg struct {
+		time  float64
+		calls int
+		cat   Category
+	}
+	byName := make(map[string]*agg)
+	for _, k := range p.Kernels {
+		a := byName[k.Name]
+		if a == nil {
+			a = &agg{cat: k.Category}
+			byName[k.Name] = a
+		}
+		a.time += k.Time
+		a.calls++
+	}
+	out := make([]Hotspot, 0, len(byName))
+	for name, a := range byName {
+		share := 0.0
+		if p.TotalTime > 0 {
+			share = a.time / p.TotalTime
+		}
+		out = append(out, Hotspot{Name: name, Category: a.cat, Share: share, Calls: a.calls})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CategoryStalls returns the time-weighted stall breakdown per kernel
+// category — the bars of Fig 7.
+func (p *Profile) CategoryStalls() map[Category]StallBreakdown {
+	times := make(map[Category]float64)
+	sums := make(map[Category][]float64)
+	for _, k := range p.Kernels {
+		times[k.Category] += k.Time
+		v := k.Stalls.Vector()
+		acc := sums[k.Category]
+		if acc == nil {
+			acc = make([]float64, len(v))
+			sums[k.Category] = acc
+		}
+		for i, x := range v {
+			acc[i] += x * k.Time
+		}
+	}
+	out := make(map[Category]StallBreakdown)
+	for c, acc := range sums {
+		t := times[c]
+		if t == 0 {
+			continue
+		}
+		out[c] = StallBreakdown{
+			InstFetch:      acc[0] / t,
+			ExecDepend:     acc[1] / t,
+			MemDepend:      acc[2] / t,
+			Texture:        acc[3] / t,
+			Sync:           acc[4] / t,
+			ConstMemDepend: acc[5] / t,
+			PipeBusy:       acc[6] / t,
+			MemThrottle:    acc[7] / t,
+		}
+	}
+	return out
+}
+
+// IterationTime is the simulated wall-clock seconds for one training
+// iteration of the given batch.
+func IterationTime(m workload.Model, batch int, dev Device) float64 {
+	return Run(m, batch, true, dev).TotalTime
+}
+
+// EpochTime is the simulated wall-clock seconds for one pass over a
+// dataset of the given size.
+func EpochTime(m workload.Model, datasetSize, batch int, dev Device) float64 {
+	iters := (datasetSize + batch - 1) / batch
+	return IterationTime(m, batch, dev) * float64(iters)
+}

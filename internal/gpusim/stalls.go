@@ -1,0 +1,79 @@
+package gpusim
+
+// StallBreakdown attributes a kernel's issue stalls to the eight causes
+// nvprof reports and the paper analyzes in Fig 7. Fractions sum to 1.
+type StallBreakdown struct {
+	InstFetch      float64 // next instruction not yet fetched
+	ExecDepend     float64 // input operand not yet available
+	MemDepend      float64 // load/store resources unavailable
+	Texture        float64 // texture sub-system under-utilized
+	Sync           float64 // __syncthreads waits
+	ConstMemDepend float64 // immediate constant cache miss
+	PipeBusy       float64 // compute pipeline busy
+	MemThrottle    float64 // too many pending memory operations
+}
+
+// Vector returns the eight fractions in Fig 7 order.
+func (s StallBreakdown) Vector() []float64 {
+	return []float64{
+		s.InstFetch, s.ExecDepend, s.MemDepend, s.Texture,
+		s.Sync, s.ConstMemDepend, s.PipeBusy, s.MemThrottle,
+	}
+}
+
+// StallNames returns the stall-class labels in Vector order.
+func StallNames() []string {
+	return []string{
+		"inst_fetch", "exe_depend", "mem_depend", "texture",
+		"sync", "const_mem_depend", "pipe_busy", "mem_throttle",
+	}
+}
+
+// Sum returns the total of all fractions (≈1).
+func (s StallBreakdown) Sum() float64 {
+	t := 0.0
+	for _, v := range s.Vector() {
+		t += v
+	}
+	return t
+}
+
+// baseStalls is the calibrated stall mix of each kernel family at its
+// typical operating point. Memory-dependency and execution-dependency
+// stalls dominate every family — the paper's headline Fig 7 finding —
+// and element-wise kernels sit near 70% memory dependency.
+var baseStalls = map[Category]StallBreakdown{
+	Convolution:     {InstFetch: 0.06, ExecDepend: 0.30, MemDepend: 0.28, Texture: 0.02, Sync: 0.08, ConstMemDepend: 0.02, PipeBusy: 0.18, MemThrottle: 0.06},
+	GEMM:            {InstFetch: 0.05, ExecDepend: 0.35, MemDepend: 0.25, Texture: 0.02, Sync: 0.10, ConstMemDepend: 0.02, PipeBusy: 0.16, MemThrottle: 0.05},
+	BatchNormCat:    {InstFetch: 0.06, ExecDepend: 0.22, MemDepend: 0.45, Texture: 0.01, Sync: 0.12, ConstMemDepend: 0.01, PipeBusy: 0.05, MemThrottle: 0.08},
+	ReluCat:         {InstFetch: 0.05, ExecDepend: 0.15, MemDepend: 0.60, Texture: 0.01, Sync: 0.04, ConstMemDepend: 0.01, PipeBusy: 0.04, MemThrottle: 0.10},
+	Elementwise:     {InstFetch: 0.04, ExecDepend: 0.12, MemDepend: 0.70, Texture: 0.01, Sync: 0.03, ConstMemDepend: 0.01, PipeBusy: 0.03, MemThrottle: 0.06},
+	Pooling:         {InstFetch: 0.06, ExecDepend: 0.18, MemDepend: 0.50, Texture: 0.03, Sync: 0.05, ConstMemDepend: 0.01, PipeBusy: 0.05, MemThrottle: 0.12},
+	DataArrangement: {InstFetch: 0.08, ExecDepend: 0.15, MemDepend: 0.55, Texture: 0.02, Sync: 0.05, ConstMemDepend: 0.02, PipeBusy: 0.04, MemThrottle: 0.09},
+	MemcpyCat:       {InstFetch: 0.05, ExecDepend: 0.10, MemDepend: 0.65, Texture: 0.01, Sync: 0.02, ConstMemDepend: 0.01, PipeBusy: 0.02, MemThrottle: 0.14},
+}
+
+// stallsFor returns the stall mix for a kernel of the given category,
+// shifted by how memory-bound this particular launch is: memory-bound
+// launches trade execution-dependency and pipe-busy stalls for
+// memory-dependency and memory-throttle stalls.
+func stallsFor(cat Category, memBound float64) StallBreakdown {
+	b := baseStalls[cat]
+	// Shift up to 10% of mass between the compute and memory stall pools.
+	shift := 0.10 * (memBound - 0.5) * 2
+	if shift > 0 {
+		moved := shift * (b.ExecDepend + b.PipeBusy)
+		b.ExecDepend *= 1 - shift
+		b.PipeBusy *= 1 - shift
+		b.MemDepend += moved * 0.8
+		b.MemThrottle += moved * 0.2
+	} else {
+		s := -shift
+		moved := s * (b.MemDepend + b.MemThrottle)
+		b.MemDepend *= 1 - s
+		b.MemThrottle *= 1 - s
+		b.ExecDepend += moved * 0.7
+		b.PipeBusy += moved * 0.3
+	}
+	return b
+}

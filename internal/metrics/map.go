@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"sort"
+
+	"aibench/internal/data"
+)
+
+// DetectionResult is a model prediction with confidence for mAP scoring.
+type DetectionResult struct {
+	Box   data.Box
+	Score float64
+	Image int
+}
+
+// MeanAP computes VOC-style mean average precision at the given IoU
+// threshold over per-image ground truth. AP per class uses the
+// all-points interpolation (area under the precision-recall curve).
+func MeanAP(results []DetectionResult, truth [][]data.Box, classes int, iouThresh float64) float64 {
+	total, counted := 0.0, 0
+	for c := 0; c < classes; c++ {
+		ap, ok := averagePrecision(results, truth, c, iouThresh)
+		if ok {
+			total += ap
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// averagePrecision computes AP for one class; ok is false when the class
+// has no ground-truth instances.
+func averagePrecision(results []DetectionResult, truth [][]data.Box, class int, iouThresh float64) (float64, bool) {
+	// Collect class detections sorted by confidence.
+	var dets []DetectionResult
+	for _, r := range results {
+		if r.Box.Class == class {
+			dets = append(dets, r)
+		}
+	}
+	sort.Slice(dets, func(i, j int) bool { return dets[i].Score > dets[j].Score })
+
+	// Ground-truth boxes per image for this class.
+	nPos := 0
+	used := make([][]bool, len(truth))
+	for i, boxes := range truth {
+		used[i] = make([]bool, len(boxes))
+		for _, b := range boxes {
+			if b.Class == class {
+				nPos++
+			}
+		}
+	}
+	if nPos == 0 {
+		return 0, false
+	}
+
+	tp := make([]float64, len(dets))
+	fp := make([]float64, len(dets))
+	for di, d := range dets {
+		if d.Image < 0 || d.Image >= len(truth) {
+			fp[di] = 1
+			continue
+		}
+		bestIoU, bestIdx := 0.0, -1
+		for gi, g := range truth[d.Image] {
+			if g.Class != class || used[d.Image][gi] {
+				continue
+			}
+			if iou := d.Box.IoU(g); iou > bestIoU {
+				bestIoU, bestIdx = iou, gi
+			}
+		}
+		if bestIdx >= 0 && bestIoU >= iouThresh {
+			tp[di] = 1
+			used[d.Image][bestIdx] = true
+		} else {
+			fp[di] = 1
+		}
+	}
+
+	// Cumulative precision/recall.
+	ap := 0.0
+	cumTP, cumFP := 0.0, 0.0
+	prevRecall := 0.0
+	for i := range dets {
+		cumTP += tp[i]
+		cumFP += fp[i]
+		recall := cumTP / float64(nPos)
+		precision := cumTP / (cumTP + cumFP)
+		ap += precision * (recall - prevRecall)
+		prevRecall = recall
+	}
+	return ap, true
+}

@@ -1,0 +1,246 @@
+package models
+
+import (
+	"math/rand"
+
+	"aibench/internal/autograd"
+	"aibench/internal/data"
+	"aibench/internal/metrics"
+	"aibench/internal/nn"
+	"aibench/internal/optim"
+	"aibench/internal/tensor"
+	"aibench/internal/workload"
+)
+
+// convGenerator is the scaled CycleGAN generator: two conv-bn-relu stages
+// plus an output convolution with tanh.
+type convGenerator struct {
+	b1, b2 *convBlock
+	out    *nn.Conv2D
+}
+
+func newConvGenerator(rng *rand.Rand, c, width int) *convGenerator {
+	return &convGenerator{
+		b1:  newConvBlock(rng, c, width, 3, 1, 1),
+		b2:  newConvBlock(rng, width, width, 3, 1, 1),
+		out: nn.NewConv2D(rng, width, c, 3, 1, 1),
+	}
+}
+
+func (g *convGenerator) Forward(x *autograd.Value) *autograd.Value {
+	return autograd.Tanh(g.out.Forward(g.b2.Forward(g.b1.Forward(x))))
+}
+
+func (g *convGenerator) Params() []*nn.Param {
+	ps := append(g.b1.Params(), g.b2.Params()...)
+	return append(ps, g.out.Params()...)
+}
+
+func (g *convGenerator) SetTraining(t bool) {
+	g.b1.SetTraining(t)
+	g.b2.SetTraining(t)
+}
+
+// patchDiscriminator is the 70×70-PatchGAN analogue: conv stages ending
+// in a per-patch real/fake logit map.
+type patchDiscriminator struct {
+	b1  *convBlock
+	out *nn.Conv2D
+}
+
+func newPatchDiscriminator(rng *rand.Rand, c, width int) *patchDiscriminator {
+	return &patchDiscriminator{
+		b1:  newConvBlock(rng, c, width, 3, 2, 1),
+		out: nn.NewConv2D(rng, width, 1, 3, 1, 1),
+	}
+}
+
+func (d *patchDiscriminator) Forward(x *autograd.Value) *autograd.Value {
+	return d.out.Forward(d.b1.Forward(x))
+}
+
+func (d *patchDiscriminator) Params() []*nn.Param {
+	return append(d.b1.Params(), d.out.Params()...)
+}
+
+func (d *patchDiscriminator) SetTraining(t bool) { d.b1.SetTraining(t) }
+
+// ImageToImage is DC-AI-C5: CycleGAN on Cityscapes, scaled to two conv
+// generators and two patch discriminators on the synthetic paired
+// domains; quality is per-pixel accuracy of the B→A translation against
+// the latent scene labels (the Cityscapes evaluation protocol).
+type ImageToImage struct {
+	gAB, gBA *convGenerator
+	dA, dB   *patchDiscriminator
+	optG     optim.Optimizer
+	optD     optim.Optimizer
+	ds       *data.PairedDomains
+	batches  int
+}
+
+// NewImageToImage constructs the scaled benchmark.
+func NewImageToImage(seed int64) *ImageToImage {
+	rng := rand.New(rand.NewSource(seed))
+	c, width := 3, 6
+	b := &ImageToImage{
+		gAB: newConvGenerator(rng, c, width),
+		gBA: newConvGenerator(rng, c, width),
+		dA:  newPatchDiscriminator(rng, c, width),
+		dB:  newPatchDiscriminator(rng, c, width),
+		ds:  data.NewPairedDomains(seed+1000, c, 8, 8, 4),
+	}
+	b.optG = optim.NewAdam(Modules(b.gAB, b.gBA), 2e-3)
+	b.optD = optim.NewAdam(Modules(b.dA, b.dB), 2e-3)
+	b.batches = 6
+	return b
+}
+
+// Name implements Benchmark.
+func (b *ImageToImage) Name() string { return "Image-to-Image" }
+
+// TrainEpoch implements Benchmark: adversarial losses on both directions
+// plus the cycle-consistency L1 term (the CycleGAN objective).
+func (b *ImageToImage) TrainEpoch() float64 {
+	total := 0.0
+	for i := 0; i < b.batches; i++ {
+		a, bd, _ := b.ds.Pair(6)
+		av, bv := autograd.Const(a), autograd.Const(bd)
+
+		// Discriminator step.
+		b.optD.ZeroGrad()
+		fakeB := b.gAB.Forward(av)
+		fakeA := b.gBA.Forward(bv)
+		dRealB := b.dB.Forward(bv)
+		dFakeB := b.dB.Forward(autograd.Const(fakeB.Data))
+		dRealA := b.dA.Forward(av)
+		dFakeA := b.dA.Forward(autograd.Const(fakeA.Data))
+		ones := tensor.Ones(dRealB.Shape()...)
+		zeros := tensor.New(dRealB.Shape()...)
+		dLoss := autograd.Add(
+			autograd.Add(autograd.BCEWithLogits(dRealB, ones), autograd.BCEWithLogits(dFakeB, zeros)),
+			autograd.Add(autograd.BCEWithLogits(dRealA, ones), autograd.BCEWithLogits(dFakeA, zeros)))
+		dLoss.Backward()
+		b.optD.Step()
+
+		// Generator step: fool both discriminators + cycle consistency.
+		b.optG.ZeroGrad()
+		fakeB = b.gAB.Forward(av)
+		fakeA = b.gBA.Forward(bv)
+		recA := b.gBA.Forward(fakeB)
+		recB := b.gAB.Forward(fakeA)
+		gAdv := autograd.Add(
+			autograd.BCEWithLogits(b.dB.Forward(fakeB), ones),
+			autograd.BCEWithLogits(b.dA.Forward(fakeA), ones))
+		cycle := autograd.Add(autograd.L1Loss(recA, a), autograd.L1Loss(recB, bd))
+		gLoss := autograd.Add(gAdv, autograd.Scale(cycle, 10))
+		gLoss.Backward()
+		b.optG.Step()
+		total += gLoss.Item()
+	}
+	return total / float64(b.batches)
+}
+
+// Quality implements Benchmark: per-pixel accuracy — translate B→A, then
+// label each pixel by its nearest class intensity in domain A's style
+// and compare with the scene's segmentation (the "FCN-score"-style
+// protocol the Cityscapes benchmark uses; paper target 0.52).
+func (b *ImageToImage) Quality() float64 {
+	a, bd, seg := b.ds.Pair(8)
+	fakeA := b.gBA.Forward(autograd.Const(bd)).Data
+	n, c := a.Dim(0), a.Dim(1)
+	h, w := a.Dim(2), a.Dim(3)
+	classes := b.ds.SegClass
+
+	// Class prototypes in domain A from ground truth.
+	protoSum := make([][]float64, classes)
+	protoCount := make([]int, classes)
+	for i := range protoSum {
+		protoSum[i] = make([]float64, c)
+	}
+	for i := 0; i < n; i++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				cls := seg[i][y*w+x]
+				for ch := 0; ch < c; ch++ {
+					protoSum[cls][ch] += a.At(i, ch, y, x)
+				}
+				protoCount[cls]++
+			}
+		}
+	}
+	for cls := range protoSum {
+		if protoCount[cls] > 0 {
+			for ch := range protoSum[cls] {
+				protoSum[cls][ch] /= float64(protoCount[cls])
+			}
+		}
+	}
+
+	var pred, truth []int
+	for i := 0; i < n; i++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				best, bestD := 0, 1e18
+				for cls := 0; cls < classes; cls++ {
+					d := 0.0
+					for ch := 0; ch < c; ch++ {
+						diff := fakeA.At(i, ch, y, x) - protoSum[cls][ch]
+						d += diff * diff
+					}
+					if d < bestD {
+						best, bestD = cls, d
+					}
+				}
+				pred = append(pred, best)
+				truth = append(truth, seg[i][y*w+x])
+			}
+		}
+	}
+	return metrics.PixelAccuracy(pred, truth)
+}
+
+// LowerIsBetter implements Benchmark.
+func (b *ImageToImage) LowerIsBetter() bool { return false }
+
+// ScaledTarget implements Benchmark (paper: per-pixel accuracy
+// 0.52±0.005).
+func (b *ImageToImage) ScaledTarget() float64 { return 0.52 }
+
+// Module implements Benchmark.
+func (b *ImageToImage) Module() nn.Module {
+	return Modules(b.gAB, b.gBA, b.dA, b.dB)
+}
+
+// Spec implements Benchmark: CycleGAN with Johnson-style generators
+// (9 residual blocks at 128², the Cityscapes training resolution) and
+// two 70×70 PatchGAN discriminators.
+func (b *ImageToImage) Spec() workload.Model {
+	var ls []workload.Layer
+	gen := func(tag string) {
+		var oh, ow int
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".in", 3, 64, 7, 1, 128, 128)
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".d1", 64, 128, 3, 2, oh, ow)
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".d2", 128, 256, 3, 2, oh, ow)
+		for i := 0; i < 9; i++ {
+			ls, oh, ow = workload.Bottleneck(ls, tag+".res", 256, 256, 256, 1, oh, ow)
+		}
+		ls = append(ls, workload.Layer{Kind: workload.Upsample, Name: tag + ".u1", Elems: 128 * 64 * 64})
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".uc1", 256, 128, 3, 1, 64, 64)
+		ls = append(ls, workload.Layer{Kind: workload.Upsample, Name: tag + ".u2", Elems: 64 * 128 * 128})
+		ls, _, _ = workload.ConvBNReLU(ls, tag+".uc2", 128, 64, 3, 1, 128, 128)
+		ls = append(ls, workload.Layer{Kind: workload.Conv, Name: tag + ".out", InC: 64, OutC: 3, Kernel: 7, Stride: 1, H: 128, W: 128})
+	}
+	disc := func(tag string) {
+		var oh, ow int
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".c1", 3, 64, 4, 2, 128, 128)
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".c2", 64, 128, 4, 2, oh, ow)
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".c3", 128, 256, 4, 2, oh, ow)
+		ls, oh, ow = workload.ConvBNReLU(ls, tag+".c4", 256, 512, 4, 1, oh, ow)
+		ls = append(ls, workload.Layer{Kind: workload.Conv, Name: tag + ".out", InC: 512, OutC: 1, Kernel: 4, Stride: 1, H: oh, W: ow})
+	}
+	gen("gAB")
+	gen("gBA")
+	disc("dA")
+	disc("dB")
+	return workload.Model{Name: "DC-AI-C5 Image-to-Image (CycleGAN/Cityscapes)", Layers: ls}
+}

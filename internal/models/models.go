@@ -1,0 +1,63 @@
+// Package models implements the seventeen AIBench component-benchmark
+// models (Table 3) plus the seven MLPerf training models the paper
+// compares against. Each benchmark provides two things:
+//
+//   - a scaled, executable model trained on the synthetic datasets of
+//     internal/data through the full tensor/autograd/nn/optim stack, so
+//     every code path (convolutions, recurrence, attention, adversarial
+//     training, distillation, architecture search) actually runs; and
+//
+//   - a paper-scale workload.Model spec used for the analytic
+//     FLOPs/parameter characterization (Fig 1a, Fig 2) and for lowering
+//     to the GPU simulator (Fig 3, 5, 6, 7).
+package models
+
+import (
+	"aibench/internal/nn"
+	"aibench/internal/workload"
+)
+
+// Benchmark is a scaled, executable component benchmark.
+type Benchmark interface {
+	// Name returns the component-benchmark task name.
+	Name() string
+	// TrainEpoch runs one epoch of training, returning the mean loss.
+	TrainEpoch() float64
+	// Quality evaluates the model on held-out data with the benchmark's
+	// Table 3 metric.
+	Quality() float64
+	// LowerIsBetter reports the metric direction (true for WER,
+	// perplexity, MSE, EM distance).
+	LowerIsBetter() bool
+	// ScaledTarget is the quality the scaled model must reach for an
+	// entire (scaled) training session to terminate.
+	ScaledTarget() float64
+	// Module exposes the trainable parameters.
+	Module() nn.Module
+	// Spec returns the paper-scale architecture.
+	Spec() workload.Model
+}
+
+// MeetsTarget reports whether quality q satisfies the benchmark's scaled
+// target given its metric direction.
+func MeetsTarget(b Benchmark, q float64) bool {
+	if b.LowerIsBetter() {
+		return q <= b.ScaledTarget()
+	}
+	return q >= b.ScaledTarget()
+}
+
+// multiModule aggregates several modules' parameters (models with
+// separate generator/discriminator or teacher/student parts).
+type multiModule struct{ mods []nn.Module }
+
+func (m multiModule) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, mod := range m.mods {
+		ps = append(ps, mod.Params()...)
+	}
+	return ps
+}
+
+// Modules bundles modules into one nn.Module.
+func Modules(mods ...nn.Module) nn.Module { return multiModule{mods: mods} }

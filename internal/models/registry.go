@@ -1,0 +1,53 @@
+package models
+
+// Factory constructs a scaled benchmark with the given seed.
+type Factory func(seed int64) Benchmark
+
+// Entry pairs a benchmark id with its factory.
+type Entry struct {
+	ID      string // DC-AI-Cn for AIBench; MLPerf-n for MLPerf
+	Suite   string // "AIBench" or "MLPerf"
+	Factory Factory
+}
+
+// AIBenchEntries returns the seventeen component benchmarks in Table 3
+// order.
+func AIBenchEntries() []Entry {
+	return []Entry{
+		{"DC-AI-C1", "AIBench", func(s int64) Benchmark { return NewImageClassification(s) }},
+		{"DC-AI-C2", "AIBench", func(s int64) Benchmark { return NewImageGeneration(s) }},
+		{"DC-AI-C3", "AIBench", func(s int64) Benchmark { return NewTextToText(s) }},
+		{"DC-AI-C4", "AIBench", func(s int64) Benchmark { return NewImageToText(s) }},
+		{"DC-AI-C5", "AIBench", func(s int64) Benchmark { return NewImageToImage(s) }},
+		{"DC-AI-C6", "AIBench", func(s int64) Benchmark { return NewSpeechRecognition(s) }},
+		{"DC-AI-C7", "AIBench", func(s int64) Benchmark { return NewFaceEmbedding(s) }},
+		{"DC-AI-C8", "AIBench", func(s int64) Benchmark { return NewFace3D(s) }},
+		{"DC-AI-C9", "AIBench", func(s int64) Benchmark { return NewObjectDetection(s) }},
+		{"DC-AI-C10", "AIBench", func(s int64) Benchmark { return NewRecommendation(s) }},
+		{"DC-AI-C11", "AIBench", func(s int64) Benchmark { return NewVideoPrediction(s) }},
+		{"DC-AI-C12", "AIBench", func(s int64) Benchmark { return NewImageCompression(s) }},
+		{"DC-AI-C13", "AIBench", func(s int64) Benchmark { return NewRecon3D(s) }},
+		{"DC-AI-C14", "AIBench", func(s int64) Benchmark { return NewTextSummarization(s) }},
+		{"DC-AI-C15", "AIBench", func(s int64) Benchmark { return NewSpatialTransformer(s) }},
+		{"DC-AI-C16", "AIBench", func(s int64) Benchmark { return NewLearningToRank(s) }},
+		{"DC-AI-C17", "AIBench", func(s int64) Benchmark { return NewNAS(s) }},
+	}
+}
+
+// MLPerfEntries returns the seven MLPerf training benchmarks.
+func MLPerfEntries() []Entry {
+	return []Entry{
+		{"MLPerf-IC", "MLPerf", NewMLPerfImageClassification},
+		{"MLPerf-ODL", "MLPerf", func(s int64) Benchmark { return NewSSDLight(s) }},
+		{"MLPerf-ODH", "MLPerf", NewMaskRCNN},
+		{"MLPerf-TR", "MLPerf", func(s int64) Benchmark { return NewGNMT(s) }},
+		{"MLPerf-TN", "MLPerf", NewMLPerfTransformer},
+		{"MLPerf-RC", "MLPerf", NewMLPerfRecommendation},
+		{"MLPerf-RL", "MLPerf", func(s int64) Benchmark { return NewReinforcementLearning(s) }},
+	}
+}
+
+// AllEntries returns AIBench then MLPerf entries.
+func AllEntries() []Entry {
+	return append(AIBenchEntries(), MLPerfEntries()...)
+}

@@ -1,0 +1,146 @@
+package models
+
+import (
+	"math/rand"
+
+	"aibench/internal/autograd"
+	"aibench/internal/data"
+	"aibench/internal/metrics"
+	"aibench/internal/nn"
+	"aibench/internal/optim"
+	"aibench/internal/workload"
+)
+
+// SpeechRecognition is DC-AI-C6: DeepSpeech2 (convolutional input layers
+// followed by recurrent layers and a softmax) on LibriSpeech, scaled to a
+// per-frame linear front-end plus GRU over synthetic spectrogram frames
+// with framewise alignment targets; quality is word error rate of the
+// greedy collapsed decode.
+type SpeechRecognition struct {
+	front   *nn.Linear
+	gru     *nn.GRUCell
+	proj    *nn.Linear
+	opt     optim.Optimizer
+	ds      *data.Speech
+	vocab   int
+	batches int
+}
+
+// NewSpeechRecognition constructs the scaled benchmark.
+func NewSpeechRecognition(seed int64) *SpeechRecognition {
+	rng := rand.New(rand.NewSource(seed))
+	vocab, features, hidden := 8, 12, 20
+	b := &SpeechRecognition{
+		front: nn.NewLinear(rng, features, hidden),
+		gru:   nn.NewGRUCell(rng, hidden, hidden),
+		proj:  nn.NewLinear(rng, hidden, vocab),
+		ds:    data.NewSpeech(seed+1000, vocab, features, 2, 3),
+		vocab: vocab, batches: 10,
+	}
+	b.opt = optim.NewAdam(b.Module(), 3e-3)
+	return b
+}
+
+// Name implements Benchmark.
+func (b *SpeechRecognition) Name() string { return "Speech Recognition" }
+
+// frameLogits runs the acoustic model over an utterance's frames [T, F]
+// and returns per-frame logits [T, vocab].
+func (b *SpeechRecognition) frameLogits(frames *autograd.Value) *autograd.Value {
+	h := autograd.ReLU(b.front.Forward(frames))
+	// Run the GRU over time: each frame is a timestep with batch 1.
+	t := h.Shape()[0]
+	state := b.gru.InitState(1)
+	outs := make([]*autograd.Value, t)
+	for i := 0; i < t; i++ {
+		state = b.gru.Step(autograd.SliceRows(h, i, i+1), state)
+		outs[i] = state
+	}
+	return b.proj.Forward(autograd.Concat(outs...))
+}
+
+// TrainEpoch implements Benchmark: framewise cross-entropy against the
+// generator's alignment (the CTC-free simplification; the code path —
+// conv front-end, recurrence, softmax over tokens — matches DeepSpeech2).
+func (b *SpeechRecognition) TrainEpoch() float64 {
+	total := 0.0
+	for i := 0; i < b.batches; i++ {
+		frames, _, align := b.ds.Utterance(4)
+		b.opt.ZeroGrad()
+		logits := b.frameLogits(autograd.Const(frames))
+		loss := autograd.SoftmaxCrossEntropy(logits, align)
+		loss.Backward()
+		b.opt.Step()
+		total += loss.Item()
+	}
+	return total / float64(b.batches)
+}
+
+// decode greedily decodes an utterance: argmax per frame, then collapse
+// consecutive repeats.
+func (b *SpeechRecognition) decode(frames *autograd.Value) []int {
+	logits := b.frameLogits(frames)
+	raw := argmaxRows(logits)
+	var out []int
+	for i, t := range raw {
+		if i == 0 || raw[i-1] != t {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Quality implements Benchmark: WER over held-out utterances.
+func (b *SpeechRecognition) Quality() float64 {
+	total := 0.0
+	const utterances = 12
+	for i := 0; i < utterances; i++ {
+		frames, tokens, _ := b.ds.Utterance(4)
+		hyp := b.decode(autograd.Const(frames))
+		total += metrics.WER(hyp, tokens)
+	}
+	return total / utterances
+}
+
+// LowerIsBetter implements Benchmark.
+func (b *SpeechRecognition) LowerIsBetter() bool { return true }
+
+// ScaledTarget implements Benchmark (the paper's convergent quality for
+// characterization is 23.5% WER).
+func (b *SpeechRecognition) ScaledTarget() float64 { return 0.235 }
+
+// Module implements Benchmark.
+func (b *SpeechRecognition) Module() nn.Module {
+	return Modules(b.front, b.gru, b.proj)
+}
+
+// Spec implements Benchmark: DeepSpeech2 — two conv input layers over
+// spectrograms, five bidirectional recurrent layers of 800 hidden units,
+// and a fully connected softmax over characters.
+func (b *SpeechRecognition) Spec() workload.Model {
+	var ls []workload.Layer
+	// Spectrogram input: 161 freq bins × 200 frames (a 2-second
+	// utterance, treated as H×W).
+	ls, oh, ow := workload.ConvBNReLU(nil, "conv1", 1, 32, 11, 2, 161, 200)
+	ls2, oh, ow := workload.ConvBNReLU(ls, "conv2", 32, 32, 11, 1, oh, ow)
+	ls = ls2
+	seqLen := ow
+	input := 32 * oh
+	hidden := 800
+	for i := 0; i < 5; i++ {
+		in := input
+		if i > 0 {
+			in = 2 * hidden // bidirectional concatenation
+		}
+		// Forward and backward directions.
+		ls = append(ls,
+			workload.Layer{Kind: workload.GRU, Name: "rnn_fw", SeqLen: seqLen, Input: in, Hidden: hidden},
+			workload.Layer{Kind: workload.GRU, Name: "rnn_bw", SeqLen: seqLen, Input: in, Hidden: hidden},
+		)
+	}
+	ls = append(ls,
+		workload.Layer{Kind: workload.Linear, Name: "fc", In: 2 * hidden, Out: 29, M: seqLen},
+		workload.Layer{Kind: workload.Softmax, Name: "softmax", Elems: seqLen * 29},
+	)
+	return workload.Model{Name: "DC-AI-C6 Speech Recognition (DeepSpeech2/LibriSpeech)", Layers: ls}
+}

@@ -1,0 +1,123 @@
+package models
+
+import (
+	"math/rand"
+
+	"aibench/internal/autograd"
+	"aibench/internal/data"
+	"aibench/internal/metrics"
+	"aibench/internal/nn"
+	"aibench/internal/optim"
+	"aibench/internal/tensor"
+	"aibench/internal/workload"
+)
+
+// SpatialTransformer is DC-AI-C15: a Spatial Transformer Network on
+// MNIST — a localization network regresses an affine transform, a grid
+// generator and bilinear sampler warp the input, and a classifier labels
+// the rectified image. Scaled to synthetic distorted digits.
+type SpatialTransformer struct {
+	locConv    *convBlock
+	locFC      *nn.Linear
+	classifier *miniResNet
+	opt        optim.Optimizer
+	ds         *data.ImageClassification
+	testX      *tensor.Tensor
+	testY      []int
+	batches    int
+	h, w       int
+}
+
+// NewSpatialTransformer constructs the scaled benchmark.
+func NewSpatialTransformer(seed int64) *SpatialTransformer {
+	rng := rand.New(rand.NewSource(seed))
+	b := &SpatialTransformer{
+		locConv:    newConvBlock(rng, 1, 4, 3, 2, 1),
+		locFC:      nn.NewLinear(rng, 4*4*4, 6),
+		classifier: newMiniResNet(rng, 1, 6, 6),
+		ds:         data.NewImageClassification(seed+1000, 6, 1, 8, 8, 0.25),
+		batches:    8,
+		h:          8, w: 8,
+	}
+	// Bias the localization head toward the identity transform, the
+	// standard STN initialization.
+	identity := []float64{1, 0, 0, 0, 1, 0}
+	copy(b.locFC.B.Value.Data.Data, identity)
+	tensor.ScaleInPlace(b.locFC.W.Value.Data, 0.01)
+	b.opt = optim.NewAdam(b.Module(), 2e-3)
+	b.testX, b.testY = b.ds.DistortedBatch(72, 0.25, 0.2)
+	return b
+}
+
+// Name implements Benchmark.
+func (b *SpatialTransformer) Name() string { return "Spatial Transformer" }
+
+// forward rectifies the input with the learned transform, then
+// classifies.
+func (b *SpatialTransformer) forward(x *autograd.Value) *autograd.Value {
+	loc := b.locConv.Forward(x)
+	shape := loc.Shape()
+	flat := autograd.Reshape(loc, shape[0], shape[1]*shape[2]*shape[3])
+	theta := b.locFC.Forward(flat)
+	grid := autograd.AffineGrid(theta, b.h, b.w)
+	rectified := autograd.GridSample(x, grid, b.h, b.w)
+	return b.classifier.Forward(rectified)
+}
+
+// TrainEpoch implements Benchmark.
+func (b *SpatialTransformer) TrainEpoch() float64 {
+	b.locConv.SetTraining(true)
+	b.classifier.SetTraining(true)
+	total := 0.0
+	for i := 0; i < b.batches; i++ {
+		x, y := b.ds.DistortedBatch(16, 0.25, 0.2)
+		b.opt.ZeroGrad()
+		loss := autograd.SoftmaxCrossEntropy(b.forward(autograd.Const(x)), y)
+		loss.Backward()
+		b.opt.Step()
+		total += loss.Item()
+	}
+	return total / float64(b.batches)
+}
+
+// Quality implements Benchmark: accuracy on held-out distorted images.
+func (b *SpatialTransformer) Quality() float64 {
+	b.locConv.SetTraining(false)
+	b.classifier.SetTraining(false)
+	logits := b.forward(autograd.Const(b.testX))
+	return metrics.Accuracy(argmaxRows(logits), b.testY)
+}
+
+// LowerIsBetter implements Benchmark.
+func (b *SpatialTransformer) LowerIsBetter() bool { return false }
+
+// ScaledTarget implements Benchmark (paper target: 99% on MNIST; the
+// scaled distorted task converges slightly lower).
+func (b *SpatialTransformer) ScaledTarget() float64 { return 0.9 }
+
+// Module implements Benchmark.
+func (b *SpatialTransformer) Module() nn.Module {
+	return Modules(b.locConv, b.locFC, b.classifier)
+}
+
+// Spec implements Benchmark: the paper's least complex model (≈0.03M
+// parameters) — a small localization CNN, the grid generator/sampler,
+// and a compact classifier on 28×28 MNIST.
+func (b *SpatialTransformer) Spec() workload.Model {
+	var ls []workload.Layer
+	var oh, ow int
+	ls, oh, ow = workload.ConvBNReLU(ls, "loc1", 1, 8, 7, 2, 28, 28)
+	ls, oh, ow = workload.ConvBNReLU(ls, "loc2", 8, 10, 5, 2, oh, ow)
+	ls = append(ls,
+		workload.Layer{Kind: workload.Linear, Name: "loc_fc1", In: 10 * oh * ow, Out: 32},
+		workload.Layer{Kind: workload.Linear, Name: "loc_fc2", In: 32, Out: 6},
+		workload.Layer{Kind: workload.GridSample, Name: "sampler", Elems: 1 * 28 * 28},
+	)
+	ls, oh, ow = workload.ConvBNReLU(ls, "cls1", 1, 10, 5, 2, 28, 28)
+	ls, oh, ow = workload.ConvBNReLU(ls, "cls2", 10, 16, 5, 2, oh, ow)
+	ls = append(ls,
+		workload.Layer{Kind: workload.Linear, Name: "cls_fc", In: 16 * oh * ow, Out: 10},
+		workload.Layer{Kind: workload.Softmax, Name: "softmax", Elems: 10},
+	)
+	return workload.Model{Name: "DC-AI-C15 Spatial Transformer (STN/MNIST)", Layers: ls}
+}

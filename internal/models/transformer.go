@@ -1,0 +1,184 @@
+package models
+
+import (
+	"math/rand"
+
+	"aibench/internal/autograd"
+	"aibench/internal/data"
+	"aibench/internal/nn"
+	"aibench/internal/optim"
+	"aibench/internal/tensor"
+	"aibench/internal/workload"
+)
+
+// decoderBlock is a pre-norm Transformer decoder block: causal
+// self-attention, cross-attention over the encoder memory, and a
+// feed-forward network, each with a residual connection.
+type decoderBlock struct {
+	self, cross   *nn.MultiHeadAttention
+	ln1, ln2, ln3 *nn.LayerNorm
+	ff1, ff2      *nn.Linear
+}
+
+func newDecoderBlock(rng *rand.Rand, d, ff, heads int) *decoderBlock {
+	return &decoderBlock{
+		self:  nn.NewMultiHeadAttention(rng, d, heads),
+		cross: nn.NewMultiHeadAttention(rng, d, heads),
+		ln1:   nn.NewLayerNorm(d),
+		ln2:   nn.NewLayerNorm(d),
+		ln3:   nn.NewLayerNorm(d),
+		ff1:   nn.NewLinear(rng, d, ff),
+		ff2:   nn.NewLinear(rng, ff, d),
+	}
+}
+
+func (b *decoderBlock) Forward(x, memory *autograd.Value) *autograd.Value {
+	n := b.ln1.Forward(x)
+	h := autograd.Add(x, b.self.Attend(n, n, true))
+	h = autograd.Add(h, b.cross.Attend(b.ln2.Forward(h), memory, false))
+	ff := b.ff2.Forward(autograd.ReLU(b.ff1.Forward(b.ln3.Forward(h))))
+	return autograd.Add(h, ff)
+}
+
+func (b *decoderBlock) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, m := range []nn.Module{b.self, b.cross, b.ln1, b.ln2, b.ln3, b.ff1, b.ff2} {
+		ps = append(ps, m.Params()...)
+	}
+	return ps
+}
+
+// TextToText is DC-AI-C3: Transformer translation on WMT En-De, scaled
+// to a one-encoder/one-decoder-block model on the synthetic parallel
+// corpus.
+type TextToText struct {
+	emb     *nn.Embedding
+	enc     *nn.TransformerBlock
+	dec     *decoderBlock
+	proj    *nn.Linear
+	pos     *tensor.Tensor
+	opt     optim.Optimizer
+	ds      *data.Translation
+	evalSet [][2][]int
+	vocab   int
+	dim     int
+	batches int
+}
+
+// NewTextToText constructs the scaled benchmark.
+func NewTextToText(seed int64) *TextToText {
+	rng := rand.New(rand.NewSource(seed))
+	ds := data.NewTranslation(seed+1000, 12, 5)
+	vocab := ds.TotalVocab()
+	dim := 16
+	b := &TextToText{
+		emb:     nn.NewEmbedding(rng, vocab, dim),
+		enc:     nn.NewTransformerBlock(rng, dim, 32, 2, false),
+		dec:     newDecoderBlock(rng, dim, 32, 2),
+		proj:    nn.NewLinear(rng, dim, vocab),
+		pos:     nn.PositionalEncoding(32, dim),
+		ds:      ds,
+		vocab:   vocab,
+		dim:     dim,
+		batches: 24,
+	}
+	b.opt = optim.NewAdam(b.Module(), 3e-3)
+	for i := 0; i < 32; i++ {
+		src, tgt := ds.Pair()
+		b.evalSet = append(b.evalSet, [2][]int{src, tgt})
+	}
+	return b
+}
+
+// Name implements Benchmark.
+func (b *TextToText) Name() string { return "Text-to-Text Translation" }
+
+// embed looks up tokens and adds positional encodings.
+func (b *TextToText) embed(tokens []int) *autograd.Value {
+	e := b.emb.Lookup(tokens)
+	pe := tensor.New(len(tokens), b.dim)
+	for i := range tokens {
+		copy(pe.Data[i*b.dim:(i+1)*b.dim], b.pos.Data[i*b.dim:(i+1)*b.dim])
+	}
+	return autograd.Add(e, autograd.Const(pe))
+}
+
+// logits runs the encoder-decoder teacher-forced on one pair: the decoder
+// input is tgt[:len-1] and the prediction targets are tgt[1:].
+func (b *TextToText) logits(src, tgt []int) (*autograd.Value, []int) {
+	memory := b.enc.Forward(b.embed(src))
+	decIn := tgt[:len(tgt)-1]
+	out := b.dec.Forward(b.embed(decIn), memory)
+	return b.proj.Forward(out), tgt[1:]
+}
+
+// TrainEpoch implements Benchmark.
+func (b *TextToText) TrainEpoch() float64 {
+	total := 0.0
+	for i := 0; i < b.batches; i++ {
+		src, tgt := b.ds.Pair()
+		b.opt.ZeroGrad()
+		lg, want := b.logits(src, tgt)
+		loss := autograd.SoftmaxCrossEntropy(lg, want)
+		loss.Backward()
+		b.opt.Step()
+		total += loss.Item()
+	}
+	return total / float64(b.batches)
+}
+
+// Quality implements Benchmark: teacher-forced next-token accuracy on
+// held-out pairs (the paper's Table 3 metric is accuracy, target 55%).
+func (b *TextToText) Quality() float64 {
+	correct, count := 0, 0
+	for _, pair := range b.evalSet {
+		lg, want := b.logits(pair[0], pair[1])
+		pred := argmaxRows(lg)
+		for i := range want {
+			if pred[i] == want[i] {
+				correct++
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(correct) / float64(count)
+}
+
+// LowerIsBetter implements Benchmark.
+func (b *TextToText) LowerIsBetter() bool { return false }
+
+// ScaledTarget implements Benchmark (paper target: 55% accuracy).
+func (b *TextToText) ScaledTarget() float64 { return 0.55 }
+
+// Module implements Benchmark.
+func (b *TextToText) Module() nn.Module {
+	return Modules(b.emb, b.enc, paramsOf(b.dec.Params()), b.proj)
+}
+
+// Spec implements Benchmark: Transformer-base (6+6 layers, d=512,
+// ff=2048, 8 heads) on WMT sequences of length 30.
+func (b *TextToText) Spec() workload.Model {
+	seq, d, ff, heads, vocab := 30, 512, 2048, 8, 32000
+	var ls []workload.Layer
+	ls = append(ls, workload.Layer{Kind: workload.Embedding, Name: "src_emb", Vocab: vocab, EmbDim: d, Lookups: seq})
+	ls = workload.TransformerEncoder(ls, "enc", 6, seq, d, ff, heads)
+	// Target embedding and output projection share the source embedding
+	// weights (the Vaswani weight-tying setup).
+	ls = append(ls, workload.Layer{Kind: workload.Embedding, Name: "tgt_emb", Vocab: vocab, EmbDim: d, Lookups: seq, Tied: true})
+	// Decoder: self-attention + cross-attention per block.
+	ls = workload.TransformerEncoder(ls, "dec_self", 6, seq, d, ff, heads)
+	for i := 0; i < 6; i++ {
+		ls = append(ls, workload.Layer{Kind: workload.Attention, Name: "dec_cross", Seq: seq, Dim: d, Heads: heads})
+	}
+	ls = append(ls, workload.Layer{Kind: workload.Linear, Name: "proj", In: d, Out: vocab, M: seq, Tied: true})
+	ls = append(ls, workload.Layer{Kind: workload.Softmax, Name: "softmax", Elems: seq * vocab})
+	return workload.Model{Name: "DC-AI-C3 Text-to-Text (Transformer/WMT)", Layers: ls}
+}
+
+// paramsOf adapts a parameter slice to nn.Module.
+type paramsOf []*nn.Param
+
+func (p paramsOf) Params() []*nn.Param { return p }

@@ -1,0 +1,140 @@
+package models
+
+import (
+	"math/rand"
+
+	"aibench/internal/autograd"
+	"aibench/internal/data"
+	"aibench/internal/metrics"
+	"aibench/internal/nn"
+	"aibench/internal/optim"
+	"aibench/internal/tensor"
+	"aibench/internal/workload"
+)
+
+// ImageGeneration is DC-AI-C2: Wasserstein GAN on LSUN-Bedrooms. Both
+// generator and critic are 4-layer ReLU MLPs exactly as the paper
+// describes ("4-layer RELU-MLP with 512 hidden units"), scaled down; the
+// critic is weight-clipped per the WGAN algorithm and the quality metric
+// is the estimated Earth-Mover distance.
+type ImageGeneration struct {
+	gen     *nn.Sequential
+	critic  *nn.Sequential
+	optG    optim.Optimizer
+	optD    optim.Optimizer
+	ds      *data.Unconditional
+	rng     *rand.Rand
+	zDim    int
+	imgVol  int
+	batches int
+	batch   int
+	clip    float64
+}
+
+// NewImageGeneration constructs the scaled benchmark.
+func NewImageGeneration(seed int64) *ImageGeneration {
+	rng := rand.New(rand.NewSource(seed))
+	zDim, hidden := 8, 32
+	ds := data.NewUnconditional(seed+1000, 1, 4, 4, 3, 0.08)
+	imgVol := 16
+	gen := nn.NewSequential(
+		nn.NewLinear(rng, zDim, hidden), nn.ReLU{},
+		nn.NewLinear(rng, hidden, hidden), nn.ReLU{},
+		nn.NewLinear(rng, hidden, hidden), nn.ReLU{},
+		nn.NewLinear(rng, hidden, imgVol),
+	)
+	critic := nn.NewSequential(
+		nn.NewLinear(rng, imgVol, hidden), nn.ReLU{},
+		nn.NewLinear(rng, hidden, hidden), nn.ReLU{},
+		nn.NewLinear(rng, hidden, hidden), nn.ReLU{},
+		nn.NewLinear(rng, hidden, 1),
+	)
+	return &ImageGeneration{
+		gen: gen, critic: critic,
+		optG: optim.NewRMSProp(gen, 5e-4, 0.99),
+		optD: optim.NewRMSProp(critic, 5e-4, 0.99),
+		ds:   ds, rng: rng,
+		zDim: zDim, imgVol: imgVol,
+		batches: 10, batch: 32, clip: 0.1,
+	}
+}
+
+// Name implements Benchmark.
+func (b *ImageGeneration) Name() string { return "Image Generation" }
+
+// sample draws generator outputs for n latent vectors.
+func (b *ImageGeneration) sample(n int) *autograd.Value {
+	z := tensor.Randn(b.rng, 0, 1, n, b.zDim)
+	return b.gen.Forward(autograd.Const(z))
+}
+
+// TrainEpoch implements Benchmark: the WGAN alternating scheme with
+// n_critic=3 critic steps per generator step and weight clipping.
+func (b *ImageGeneration) TrainEpoch() float64 {
+	total := 0.0
+	for i := 0; i < b.batches; i++ {
+		// Critic steps: maximize E[f(real)] − E[f(fake)].
+		for c := 0; c < 3; c++ {
+			real := b.ds.Real(b.batch).Reshape(b.batch, b.imgVol)
+			fake := b.sample(b.batch)
+			b.optD.ZeroGrad()
+			fReal := b.critic.Forward(autograd.Const(real))
+			fFake := b.critic.Forward(autograd.Const(fake.Data))
+			loss := autograd.Sub(autograd.Mean(fFake), autograd.Mean(fReal))
+			loss.Backward()
+			b.optD.Step()
+			for _, p := range b.critic.Params() {
+				for j, v := range p.Value.Data.Data {
+					if v > b.clip {
+						p.Value.Data.Data[j] = b.clip
+					} else if v < -b.clip {
+						p.Value.Data.Data[j] = -b.clip
+					}
+				}
+			}
+		}
+		// Generator step: maximize E[f(fake)].
+		b.optG.ZeroGrad()
+		fake := b.sample(b.batch)
+		loss := autograd.Neg(autograd.Mean(b.critic.Forward(fake)))
+		loss.Backward()
+		b.optG.Step()
+		total += loss.Item()
+	}
+	return total / float64(b.batches)
+}
+
+// Quality implements Benchmark: sliced Earth-Mover distance between
+// generated and real samples (the paper trains the EM-distance estimate
+// to 0.5±0.005; lower is better here).
+func (b *ImageGeneration) Quality() float64 {
+	n := 64
+	real := b.ds.Real(n).Reshape(n, b.imgVol)
+	fake := b.sample(n)
+	toRows := func(t *tensor.Tensor) [][]float64 {
+		rows := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			rows[i] = append([]float64(nil), t.Data[i*b.imgVol:(i+1)*b.imgVol]...)
+		}
+		return rows
+	}
+	return metrics.SlicedEMDistance(toRows(fake.Data), toRows(real), 12)
+}
+
+// LowerIsBetter implements Benchmark.
+func (b *ImageGeneration) LowerIsBetter() bool { return true }
+
+// ScaledTarget implements Benchmark (paper: EM distance 0.5±0.005).
+func (b *ImageGeneration) ScaledTarget() float64 { return 0.5 }
+
+// Module implements Benchmark.
+func (b *ImageGeneration) Module() nn.Module { return Modules(b.gen, b.critic) }
+
+// Spec implements Benchmark: 4-layer 512-hidden MLP generator + critic on
+// 64×64×3 LSUN images, per Section 4.1.4.
+func (b *ImageGeneration) Spec() workload.Model {
+	vol := 3 * 64 * 64
+	ls := workload.MLP(nil, "gen", []int{128, 512, 512, 512, vol}, 1)
+	ls = workload.MLP(ls, "critic", []int{vol, 512, 512, 512, 1}, 1)
+	return workload.Model{Name: "DC-AI-C2 Image Generation (WGAN/LSUN)", Layers: ls}
+}

@@ -1,0 +1,220 @@
+// Package optim implements the gradient-descent optimizers and
+// learning-rate schedules used by the AIBench reference implementations:
+// SGD with momentum, Adam/AdamW, RMSProp, and Adagrad, plus step, cosine,
+// exponential, and warmup schedules.
+package optim
+
+import (
+	"math"
+
+	"aibench/internal/nn"
+	"aibench/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using current gradients.
+	Step()
+	// ZeroGrad clears gradients of all managed parameters.
+	ZeroGrad()
+	// SetLR overrides the learning rate (used with schedules).
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+type base struct {
+	params []*nn.Param
+	lr     float64
+}
+
+func (b *base) ZeroGrad() {
+	for _, p := range b.params {
+		p.Value.ZeroGrad()
+	}
+}
+func (b *base) SetLR(lr float64) { b.lr = lr }
+func (b *base) LR() float64      { return b.lr }
+
+// SGD is stochastic gradient descent with optional momentum, Nesterov
+// acceleration, and decoupled weight decay.
+type SGD struct {
+	base
+	Momentum    float64
+	Nesterov    bool
+	WeightDecay float64
+	velocity    []*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer over the module's parameters.
+func NewSGD(m nn.Module, lr, momentum, weightDecay float64, nesterov bool) *SGD {
+	ps := m.Params()
+	vel := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		vel[i] = tensor.New(p.Value.Data.Shape()...)
+	}
+	return &SGD{
+		base:        base{params: ps, lr: lr},
+		Momentum:    momentum,
+		Nesterov:    nesterov,
+		WeightDecay: weightDecay,
+		velocity:    vel,
+	}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		g := p.Value.Grad
+		if g == nil {
+			continue
+		}
+		w := p.Value.Data
+		v := s.velocity[i]
+		for j := range w.Data {
+			grad := g.Data[j] + s.WeightDecay*w.Data[j]
+			if s.Momentum != 0 {
+				v.Data[j] = s.Momentum*v.Data[j] + grad
+				if s.Nesterov {
+					grad = grad + s.Momentum*v.Data[j]
+				} else {
+					grad = v.Data[j]
+				}
+			}
+			w.Data[j] -= s.lr * grad
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba). With DecoupledDecay it
+// becomes AdamW.
+type Adam struct {
+	base
+	Beta1, Beta2   float64
+	Eps            float64
+	WeightDecay    float64
+	DecoupledDecay bool
+	step           int
+	m, v           []*tensor.Tensor
+}
+
+// NewAdam constructs Adam with the canonical defaults β1=0.9, β2=0.999.
+func NewAdam(mod nn.Module, lr float64) *Adam {
+	ps := mod.Params()
+	m := make([]*tensor.Tensor, len(ps))
+	v := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		m[i] = tensor.New(p.Value.Data.Shape()...)
+		v[i] = tensor.New(p.Value.Data.Shape()...)
+	}
+	return &Adam{
+		base:  base{params: ps, lr: lr},
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: m, v: v,
+	}
+}
+
+// NewAdamW constructs Adam with decoupled weight decay.
+func NewAdamW(mod nn.Module, lr, weightDecay float64) *Adam {
+	a := NewAdam(mod, lr)
+	a.WeightDecay = weightDecay
+	a.DecoupledDecay = true
+	return a
+}
+
+// Step applies one Adam update with bias correction.
+func (a *Adam) Step() {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		g := p.Value.Grad
+		if g == nil {
+			continue
+		}
+		w := p.Value.Data
+		for j := range w.Data {
+			grad := g.Data[j]
+			if a.WeightDecay != 0 && !a.DecoupledDecay {
+				grad += a.WeightDecay * w.Data[j]
+			}
+			a.m[i].Data[j] = a.Beta1*a.m[i].Data[j] + (1-a.Beta1)*grad
+			a.v[i].Data[j] = a.Beta2*a.v[i].Data[j] + (1-a.Beta2)*grad*grad
+			mHat := a.m[i].Data[j] / c1
+			vHat := a.v[i].Data[j] / c2
+			upd := a.lr * mHat / (math.Sqrt(vHat) + a.Eps)
+			if a.DecoupledDecay && a.WeightDecay != 0 {
+				upd += a.lr * a.WeightDecay * w.Data[j]
+			}
+			w.Data[j] -= upd
+		}
+	}
+}
+
+// RMSProp is the RMSProp optimizer used by several recurrent workloads.
+type RMSProp struct {
+	base
+	Alpha float64
+	Eps   float64
+	sq    []*tensor.Tensor
+}
+
+// NewRMSProp constructs RMSProp with decay alpha (default 0.99 in the
+// reference implementations).
+func NewRMSProp(mod nn.Module, lr, alpha float64) *RMSProp {
+	ps := mod.Params()
+	sq := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		sq[i] = tensor.New(p.Value.Data.Shape()...)
+	}
+	return &RMSProp{base: base{params: ps, lr: lr}, Alpha: alpha, Eps: 1e-8, sq: sq}
+}
+
+// Step applies one RMSProp update.
+func (r *RMSProp) Step() {
+	for i, p := range r.params {
+		g := p.Value.Grad
+		if g == nil {
+			continue
+		}
+		w := p.Value.Data
+		for j := range w.Data {
+			grad := g.Data[j]
+			r.sq[i].Data[j] = r.Alpha*r.sq[i].Data[j] + (1-r.Alpha)*grad*grad
+			w.Data[j] -= r.lr * grad / (math.Sqrt(r.sq[i].Data[j]) + r.Eps)
+		}
+	}
+}
+
+// Adagrad is the Adagrad optimizer (per-parameter adaptive rates).
+type Adagrad struct {
+	base
+	Eps float64
+	sum []*tensor.Tensor
+}
+
+// NewAdagrad constructs Adagrad.
+func NewAdagrad(mod nn.Module, lr float64) *Adagrad {
+	ps := mod.Params()
+	sum := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		sum[i] = tensor.New(p.Value.Data.Shape()...)
+	}
+	return &Adagrad{base: base{params: ps, lr: lr}, Eps: 1e-8, sum: sum}
+}
+
+// Step applies one Adagrad update.
+func (a *Adagrad) Step() {
+	for i, p := range a.params {
+		g := p.Value.Grad
+		if g == nil {
+			continue
+		}
+		w := p.Value.Data
+		for j := range w.Data {
+			grad := g.Data[j]
+			a.sum[i].Data[j] += grad * grad
+			w.Data[j] -= a.lr * grad / (math.Sqrt(a.sum[i].Data[j]) + a.Eps)
+		}
+	}
+}

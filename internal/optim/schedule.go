@@ -1,0 +1,96 @@
+package optim
+
+import "math"
+
+// Schedule maps a step (or epoch) index to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// Constant keeps the learning rate fixed.
+type Constant struct{ Base float64 }
+
+// LR returns the fixed rate.
+func (c Constant) LR(int) float64 { return c.Base }
+
+// StepDecay multiplies the base rate by Gamma every Every steps, the
+// classic ResNet/ImageNet schedule.
+type StepDecay struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LR returns the decayed rate at the given step.
+func (s StepDecay) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.Every))
+}
+
+// Exponential decays the base rate by Gamma^step.
+type Exponential struct {
+	Base  float64
+	Gamma float64
+}
+
+// LR returns Base·Gammaˢᵗᵉᵖ.
+func (e Exponential) LR(step int) float64 {
+	return e.Base * math.Pow(e.Gamma, float64(step))
+}
+
+// Cosine anneals from Base to Min over Total steps.
+type Cosine struct {
+	Base  float64
+	Min   float64
+	Total int
+}
+
+// LR returns the cosine-annealed rate.
+func (c Cosine) LR(step int) float64 {
+	if c.Total <= 0 {
+		return c.Base
+	}
+	if step >= c.Total {
+		return c.Min
+	}
+	frac := float64(step) / float64(c.Total)
+	return c.Min + (c.Base-c.Min)*(1+math.Cos(math.Pi*frac))/2
+}
+
+// Warmup linearly ramps to Base over WarmupSteps and then delegates to
+// After (the Transformer "Noam"-style arrangement when paired with an
+// inverse-sqrt tail).
+type Warmup struct {
+	Base        float64
+	WarmupSteps int
+	After       Schedule
+}
+
+// LR returns the warmed-up rate.
+func (w Warmup) LR(step int) float64 {
+	if step < w.WarmupSteps && w.WarmupSteps > 0 {
+		return w.Base * float64(step+1) / float64(w.WarmupSteps)
+	}
+	if w.After != nil {
+		return w.After.LR(step - w.WarmupSteps)
+	}
+	return w.Base
+}
+
+// InverseSqrt decays proportionally to 1/sqrt(step), as used by the
+// Transformer translation workload.
+type InverseSqrt struct {
+	Base float64
+}
+
+// LR returns Base/sqrt(step+1).
+func (i InverseSqrt) LR(step int) float64 {
+	return i.Base / math.Sqrt(float64(step+1))
+}
+
+// Apply sets the optimizer's rate from the schedule for the given step.
+func Apply(o Optimizer, s Schedule, step int) {
+	o.SetLR(s.LR(step))
+}

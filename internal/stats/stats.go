@@ -1,0 +1,133 @@
+// Package stats provides the descriptive statistics the evaluation
+// harness needs: mean, standard deviation, coefficient of variation
+// (the paper's run-to-run variation measure in Table 5), quantiles, and
+// bootstrap confidence intervals.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), the
+// convention used when quantifying repeat-measurement variation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// CV returns the coefficient of variation — the ratio of the standard
+// deviation to the mean — which is exactly how Table 5 reports run-to-run
+// variation. Returns 0 when the mean is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Abs(m)
+}
+
+// MinMax returns the smallest and largest values.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// BootstrapCI returns a (lo, hi) percentile bootstrap confidence interval
+// for the mean at the given level (e.g. 0.95), using resamples draws.
+func BootstrapCI(rng *rand.Rand, xs []float64, level float64, resamples int) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		s := 0.0
+		for i := 0; i < len(xs); i++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[r] = s / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha)
+}
+
+// Normalize scales xs to zero mean and unit variance in place; constant
+// vectors become all-zero. Returns the original mean and std.
+func Normalize(xs []float64) (mean, std float64) {
+	mean = Mean(xs)
+	std = StdDev(xs)
+	for i := range xs {
+		if std > 0 {
+			xs[i] = (xs[i] - mean) / std
+		} else {
+			xs[i] = 0
+		}
+	}
+	return mean, std
+}
+
+// MinMaxScale rescales xs to [0,1] in place (constant vectors become 0.5).
+func MinMaxScale(xs []float64) {
+	lo, hi := MinMax(xs)
+	for i := range xs {
+		if hi > lo {
+			xs[i] = (xs[i] - lo) / (hi - lo)
+		} else {
+			xs[i] = 0.5
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package tensor
+
+import "fmt"
+
+// Conv2DParams describes a 2-D convolution or pooling geometry.
+type Conv2DParams struct {
+	Kernel  int // square kernel size
+	Stride  int
+	Padding int
+}
+
+// OutDim returns the output spatial size for input size in.
+func (p Conv2DParams) OutDim(in int) int {
+	return (in+2*p.Padding-p.Kernel)/p.Stride + 1
+}
+
+// Im2Col unfolds an NCHW input into a matrix of shape
+// (N*outH*outW) × (C*K*K) so convolution becomes a GEMM. Out-of-bounds
+// (padded) taps read as zero.
+func Im2Col(x *Tensor, p Conv2DParams) *Tensor {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires NCHW input, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutDim(h), p.OutDim(w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col output would be empty for input %v params %+v", x.shape, p))
+	}
+	k := p.Kernel
+	cols := New(n*oh*ow, c*k*k)
+	row := 0
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := cols.Data[row*c*k*k : (row+1)*c*k*k]
+				di := 0
+				for ch := 0; ch < c; ch++ {
+					base := (img*c + ch) * h * w
+					for ky := 0; ky < k; ky++ {
+						iy := oy*p.Stride - p.Padding + ky
+						for kx := 0; kx < k; kx++ {
+							ix := ox*p.Stride - p.Padding + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[di] = x.Data[base+iy*w+ix]
+							}
+							di++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a (N*outH*outW) × (C*K*K) matrix back into an NCHW tensor of
+// shape [n,c,h,w], accumulating overlapping taps. It is the adjoint of
+// Im2Col and is used by convolution backward passes.
+func Col2Im(cols *Tensor, n, c, h, w int, p Conv2DParams) *Tensor {
+	oh, ow := p.OutDim(h), p.OutDim(w)
+	k := p.Kernel
+	if len(cols.shape) != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != c*k*k {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with n=%d c=%d h=%d w=%d %+v", cols.shape, n, c, h, w, p))
+	}
+	x := New(n, c, h, w)
+	row := 0
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.Data[row*c*k*k : (row+1)*c*k*k]
+				si := 0
+				for ch := 0; ch < c; ch++ {
+					base := (img*c + ch) * h * w
+					for ky := 0; ky < k; ky++ {
+						iy := oy*p.Stride - p.Padding + ky
+						for kx := 0; kx < k; kx++ {
+							ix := ox*p.Stride - p.Padding + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.Data[base+iy*w+ix] += src[si]
+							}
+							si++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return x
+}
+
+// Conv2D convolves an NCHW input with an OIKK weight tensor, producing an
+// N×O×outH×outW output. It is implemented as im2col followed by GEMM,
+// mirroring how cuDNN's implicit-GEMM kernels work.
+func Conv2D(x, weight *Tensor, p Conv2DParams) *Tensor {
+	if len(weight.shape) != 4 || weight.shape[2] != p.Kernel || weight.shape[3] != p.Kernel {
+		panic(fmt.Sprintf("tensor: Conv2D weight shape %v incompatible with kernel %d", weight.shape, p.Kernel))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	outC, inC := weight.shape[0], weight.shape[1]
+	if inC != c {
+		panic(fmt.Sprintf("tensor: Conv2D input channels %d != weight in-channels %d", c, inC))
+	}
+	oh, ow := p.OutDim(h), p.OutDim(w)
+	cols := Im2Col(x, p)                              // (n*oh*ow) × (c*k*k)
+	wmat := weight.Reshape(outC, c*p.Kernel*p.Kernel) // outC × (c*k*k)
+	prod := MatMulT(cols, wmat)                       // (n*oh*ow) × outC
+	// Rearrange rows from (img,oy,ox)×outC to NCHW.
+	out := New(n, outC, oh, ow)
+	plane := oh * ow
+	for img := 0; img < n; img++ {
+		for pix := 0; pix < plane; pix++ {
+			src := prod.Data[(img*plane+pix)*outC : (img*plane+pix+1)*outC]
+			for oc := 0; oc < outC; oc++ {
+				out.Data[(img*outC+oc)*plane+pix] = src[oc]
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies max pooling to an NCHW tensor and also returns the
+// argmax indices (flat indices into the input) for the backward pass.
+func MaxPool2D(x *Tensor, p Conv2DParams) (*Tensor, []int) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutDim(h), p.OutDim(w)
+	out := New(n, c, oh, ow)
+	arg := make([]int, n*c*oh*ow)
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := 0.0
+					bestIdx := -1
+					for ky := 0; ky < p.Kernel; ky++ {
+						iy := oy*p.Stride - p.Padding + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.Kernel; kx++ {
+							ix := ox*p.Stride - p.Padding + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := x.Data[base+iy*w+ix]
+							if bestIdx < 0 || v > best {
+								best = v
+								bestIdx = base + iy*w + ix
+							}
+						}
+					}
+					out.Data[oi] = best
+					arg[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// AvgPool2D applies average pooling to an NCHW tensor. Padding taps count
+// toward the divisor (count_include_pad semantics).
+func AvgPool2D(x *Tensor, p Conv2DParams) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutDim(h), p.OutDim(w)
+	out := New(n, c, oh, ow)
+	div := float64(p.Kernel * p.Kernel)
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ky := 0; ky < p.Kernel; ky++ {
+						iy := oy*p.Stride - p.Padding + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.Kernel; kx++ {
+							ix := ox*p.Stride - p.Padding + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += x.Data[base+iy*w+ix]
+						}
+					}
+					out.Data[oi] = s / div
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool2D averages each channel plane of an NCHW tensor, returning
+// an N×C matrix.
+func GlobalAvgPool2D(x *Tensor) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c)
+	plane := h * w
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * plane
+			s := 0.0
+			for k := 0; k < plane; k++ {
+				s += x.Data[base+k]
+			}
+			out.Data[img*c+ch] = s / float64(plane)
+		}
+	}
+	return out
+}
+
+// UpsampleNearest2D doubles the spatial resolution of an NCHW tensor by
+// integer factor, replicating each pixel factor×factor times.
+func UpsampleNearest2D(x *Tensor, factor int) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := h*factor, w*factor
+	out := New(n, c, oh, ow)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			src := (img*c + ch) * h * w
+			dst := (img*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy := oy / factor
+				for ox := 0; ox < ow; ox++ {
+					out.Data[dst+oy*ow+ox] = x.Data[src+iy*w+ox/factor]
+				}
+			}
+		}
+	}
+	return out
+}

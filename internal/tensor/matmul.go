@@ -1,0 +1,136 @@
+package tensor
+
+import "fmt"
+
+// MatMul multiplies two 2-D tensors: (m×k) · (k×n) → (m×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, ka := a.shape[0], a.shape[1]
+	kb, n := b.shape[0], b.shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v vs %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// ikj loop order keeps the inner loop streaming over contiguous rows
+	// of b and out, which matters even for the scaled models.
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*ka : (i+1)*ka]
+		orow := out.Data[i*n : (i+1)*n]
+		for k := 0; k < ka; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT multiplies a by the transpose of b: (m×k) · (n×k)ᵀ → (m×n).
+// Used by backward passes to avoid materializing transposes.
+func MatMulT(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, ka := a.shape[0], a.shape[1]
+	n, kb := b.shape[0], b.shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims differ: %v vs %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*ka : (i+1)*ka]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*kb : (j+1)*kb]
+			s := 0.0
+			for k := 0; k < ka; k++ {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul multiplies the transpose of a by b: (k×m)ᵀ · (k×n) → (m×n).
+func TMatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: TMatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	ka, m := a.shape[0], a.shape[1]
+	kb, n := b.shape[0], b.shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims differ: %v vs %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for k := 0; k < ka; k++ {
+		arow := a.Data[k*m : (k+1)*m]
+		brow := b.Data[k*n : (k+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose requires a 2-D tensor, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec multiplies a 2-D tensor by a 1-D vector: (m×k) · (k) → (m).
+func MatVec(a, v *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(v.shape) != 1 || a.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v and %v incompatible", a.shape, v.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		s := 0.0
+		for j := 0; j < k; j++ {
+			s += row[j] * v.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// Outer returns the outer product of two 1-D tensors: (m) ⊗ (n) → (m×n).
+func Outer(a, b *Tensor) *Tensor {
+	if len(a.shape) != 1 || len(b.shape) != 1 {
+		panic("tensor: Outer requires 1-D operands")
+	}
+	m, n := a.shape[0], b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = a.Data[i] * b.Data[j]
+		}
+	}
+	return out
+}

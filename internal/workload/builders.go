@@ -1,0 +1,111 @@
+package workload
+
+import "fmt"
+
+// ConvBNReLU appends the conv → batchnorm → relu triple that dominates
+// every CNN in the suite, and returns the output spatial size.
+func ConvBNReLU(layers []Layer, name string, inC, outC, kernel, stride, h, w int) ([]Layer, int, int) {
+	oh := (h + stride - 1) / stride
+	ow := (w + stride - 1) / stride
+	layers = append(layers,
+		Layer{Kind: Conv, Name: name + ".conv", InC: inC, OutC: outC, Kernel: kernel, Stride: stride, H: h, W: w},
+		Layer{Kind: BatchNorm, Name: name + ".bn", OutC: outC, Elems: outC * oh * ow},
+		Layer{Kind: ReLU, Name: name + ".relu", Elems: outC * oh * ow},
+	)
+	return layers, oh, ow
+}
+
+// Bottleneck appends a ResNet bottleneck block (1×1 reduce, 3×3, 1×1
+// expand, shortcut add) and returns the output spatial size.
+func Bottleneck(layers []Layer, name string, inC, midC, outC, stride, h, w int) ([]Layer, int, int) {
+	var oh, ow int
+	layers, _, _ = ConvBNReLU(layers, name+".a", inC, midC, 1, 1, h, w)
+	layers, oh, ow = ConvBNReLU(layers, name+".b", midC, midC, 3, stride, h, w)
+	layers, oh, ow = ConvBNReLU(layers, name+".c", midC, outC, 1, 1, oh, ow)
+	if inC != outC || stride != 1 {
+		layers = append(layers,
+			Layer{Kind: Conv, Name: name + ".down", InC: inC, OutC: outC, Kernel: 1, Stride: stride, H: h, W: w})
+	}
+	layers = append(layers, Layer{Kind: Elementwise, Name: name + ".add", Elems: outC * oh * ow})
+	return layers, oh, ow
+}
+
+// ResNet50 builds the full ResNet-50 spec for the given input geometry
+// and class count — the backbone of Image Classification (DC-AI-C1),
+// Object Detection (DC-AI-C9), and 3D Face Recognition (DC-AI-C8).
+func ResNet50(inC, h, w, classes int) Model {
+	var ls []Layer
+	var oh, ow int
+	ls, oh, ow = ConvBNReLU(ls, "stem", inC, 64, 7, 2, h, w)
+	ls = append(ls, Layer{Kind: Pool, Name: "stem.maxpool", InC: 64, Kernel: 3, Stride: 2, H: oh, W: ow})
+	oh, ow = (oh+1)/2, (ow+1)/2
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	inCh := 64
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			ls, oh, ow = Bottleneck(ls, fmt.Sprintf("layer%d.%d", si+1, b), inCh, st.mid, st.out, stride, oh, ow)
+			inCh = st.out
+		}
+	}
+	ls = append(ls,
+		Layer{Kind: Pool, Name: "gap", InC: 2048, Kernel: oh, Stride: oh, H: oh, W: ow},
+		Layer{Kind: Linear, Name: "fc", In: 2048, Out: classes},
+	)
+	return Model{Name: "resnet50", Layers: ls}
+}
+
+// ResNet50Backbone is ResNet-50 without the classifier head, returning
+// also the output channel count and spatial size (for detector heads).
+func ResNet50Backbone(inC, h, w int) (Model, int, int, int) {
+	full := ResNet50(inC, h, w, 1000)
+	// Strip the final pool+fc.
+	m := Model{Name: "resnet50-backbone", Layers: full.Layers[:len(full.Layers)-2]}
+	oh, ow := h, w
+	for i := 0; i < 5; i++ { // stem stride 2, maxpool 2, and 3 stage strides
+		oh, ow = (oh+1)/2, (ow+1)/2
+	}
+	return m, 2048, oh, ow
+}
+
+// MLP appends a multi-layer perceptron with ReLU between layers.
+func MLP(layers []Layer, name string, dims []int, m int) []Layer {
+	for i := 0; i+1 < len(dims); i++ {
+		layers = append(layers, Layer{
+			Kind: Linear, Name: fmt.Sprintf("%s.fc%d", name, i),
+			In: dims[i], Out: dims[i+1], M: m,
+		})
+		if i+2 < len(dims) {
+			layers = append(layers, Layer{Kind: ReLU, Name: fmt.Sprintf("%s.relu%d", name, i), Elems: m * dims[i+1]})
+		}
+	}
+	return layers
+}
+
+// TransformerEncoder appends n encoder blocks of the given geometry.
+func TransformerEncoder(layers []Layer, name string, n, seq, dim, ff, heads int) []Layer {
+	for i := 0; i < n; i++ {
+		blk := fmt.Sprintf("%s.block%d", name, i)
+		layers = append(layers,
+			Layer{Kind: LayerNorm, Name: blk + ".ln1", Dim: dim, Elems: seq * dim},
+			Layer{Kind: Attention, Name: blk + ".attn", Seq: seq, Dim: dim, Heads: heads},
+			Layer{Kind: Elementwise, Name: blk + ".res1", Elems: seq * dim},
+			Layer{Kind: LayerNorm, Name: blk + ".ln2", Dim: dim, Elems: seq * dim},
+			Layer{Kind: Linear, Name: blk + ".ff1", In: dim, Out: ff, M: seq},
+			Layer{Kind: ReLU, Name: blk + ".ffrelu", Elems: seq * ff},
+			Layer{Kind: Linear, Name: blk + ".ff2", In: ff, Out: dim, M: seq},
+			Layer{Kind: Elementwise, Name: blk + ".res2", Elems: seq * dim},
+		)
+	}
+	return layers
+}
