@@ -110,6 +110,30 @@ func CharacterizeAll(bs []*Benchmark, dev Device) []Characterization {
 	return core.CharacterizeSuite(bs, dev)
 }
 
+// RunAllScaled executes a scaled training session for all 24 benchmarks
+// across a bounded worker pool (workers <= 0 means GOMAXPROCS) and
+// returns results in registry order (AIBench C1..C17, then MLPerf).
+// Per-benchmark seeds are derived deterministically from cfg.Seed and
+// the benchmark id, so results are bitwise identical for any worker
+// count; cfg.Log, if set, receives safely interleaved progress lines
+// from the concurrent sessions.
+func (s *Suite) RunAllScaled(cfg SessionConfig, workers int) []SessionResult {
+	return core.RunSuiteScaled(s.reg.All(), cfg, workers)
+}
+
+// CharacterizeAll profiles every registered benchmark on the device
+// across a bounded worker pool (workers <= 0 means GOMAXPROCS),
+// returning results in registry order.
+func (s *Suite) CharacterizeAll(dev Device, workers int) []Characterization {
+	return core.CharacterizeSuiteParallel(s.reg.All(), dev, workers)
+}
+
+// DeriveSeed is the deterministic per-benchmark seed derivation
+// RunAllScaled applies to its base seed: it depends only on (base, id),
+// never on scheduling, so serial and pooled suite runs train each
+// benchmark identically.
+func DeriveSeed(base int64, id string) int64 { return core.DeriveSeed(base, id) }
+
 // Cluster reproduces Fig 4: t-SNE + k-means over the seventeen
 // benchmarks' computation and memory access patterns.
 func (s *Suite) Cluster(k int, seed int64) ClusterResult { return s.reg.ClusterBenchmarks(k, seed) }

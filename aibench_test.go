@@ -2,6 +2,7 @@ package aibench_test
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -31,6 +32,54 @@ func TestSuiteScaledSessionThroughAPI(t *testing.T) {
 	}
 	if len(res.Losses) != res.Epochs {
 		t.Fatalf("loss trace %d != epochs %d", len(res.Losses), res.Epochs)
+	}
+}
+
+// TestRunAllScaledMatchesSerialLoop pins the acceptance guarantee of
+// the parallel engine: a pooled RunAllScaled produces results bitwise
+// identical (losses included) to a plain serial loop over Suite.All()
+// using the same per-benchmark derived seeds.
+func TestRunAllScaledMatchesSerialLoop(t *testing.T) {
+	s := aibench.NewSuite()
+	cfg := aibench.SessionConfig{Kind: aibench.QuasiEntireSession, MaxEpochs: 1, Seed: 42}
+
+	var serial []aibench.SessionResult
+	for _, b := range s.All() {
+		c := cfg
+		c.Seed = aibench.DeriveSeed(cfg.Seed, b.ID)
+		serial = append(serial, b.RunScaledSession(c))
+	}
+	pooled := s.RunAllScaled(cfg, 4)
+
+	if len(pooled) != len(serial) {
+		t.Fatalf("pooled ran %d sessions, serial %d", len(pooled), len(serial))
+	}
+	for i := range pooled {
+		p, w := pooled[i], serial[i]
+		if p.ID != w.ID || p.Epochs != w.Epochs || p.ReachedGoal != w.ReachedGoal {
+			t.Fatalf("session %d differs:\npooled %+v\nserial %+v", i, p, w)
+		}
+		if math.Float64bits(p.FinalQuality) != math.Float64bits(w.FinalQuality) {
+			t.Fatalf("session %s quality differs: %v vs %v", p.ID, p.FinalQuality, w.FinalQuality)
+		}
+		for e := range p.Losses {
+			if math.Float64bits(p.Losses[e]) != math.Float64bits(w.Losses[e]) {
+				t.Fatalf("session %s epoch %d loss differs: %v vs %v", p.ID, e+1, p.Losses[e], w.Losses[e])
+			}
+		}
+	}
+}
+
+func TestCharacterizeAllParallel(t *testing.T) {
+	s := aibench.NewSuite()
+	cs := s.CharacterizeAll(aibench.TitanXP(), 8)
+	if len(cs) != 24 {
+		t.Fatalf("characterized %d benchmarks, want 24", len(cs))
+	}
+	for i, b := range s.All() {
+		if cs[i].ID != b.ID {
+			t.Fatalf("characterization %d is %s, want registry order (%s)", i, cs[i].ID, b.ID)
+		}
 	}
 }
 

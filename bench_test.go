@@ -5,6 +5,7 @@
 package aibench_test
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"testing"
@@ -224,6 +225,47 @@ func BenchmarkSubsetSavings(b *testing.B) {
 	b.ReportMetric(c.SubsetVsAIBench*100, "subset_vs_aibench_pct_paper_41")
 	b.ReportMetric(c.SubsetVsMLPerf*100, "subset_vs_mlperf_pct_paper_63")
 	b.ReportMetric(c.AIBenchVsMLPerf*100, "aibench_vs_mlperf_pct_paper_37")
+}
+
+// BenchmarkSuiteScaled measures a full 24-benchmark quasi-entire suite
+// pass through the real training stack: the serial loop baseline
+// against the pooled engine at several widths. On a 4+ core machine
+// workers-4 should run at least 2x faster wall-clock than serial-loop,
+// with bitwise-identical results (TestRunAllScaledMatchesSerialLoop).
+func BenchmarkSuiteScaled(b *testing.B) {
+	cfg := aibench.SessionConfig{Kind: aibench.QuasiEntireSession, MaxEpochs: 1, Seed: 42}
+	b.Run("serial-loop", func(b *testing.B) {
+		suite := aibench.NewSuite()
+		for i := 0; i < b.N; i++ {
+			for _, bench := range suite.All() {
+				c := cfg
+				c.Seed = aibench.DeriveSeed(cfg.Seed, bench.ID)
+				bench.RunScaledSession(c)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			suite := aibench.NewSuite()
+			for i := 0; i < b.N; i++ {
+				suite.RunAllScaled(cfg, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkCharacterizeAllWorkers measures the pooled characterization
+// of all 24 paper-scale models.
+func BenchmarkCharacterizeAllWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			suite := aibench.NewSuite()
+			dev := aibench.TitanXP()
+			for i := 0; i < b.N; i++ {
+				suite.CharacterizeAll(dev, workers)
+			}
+		})
+	}
 }
 
 // BenchmarkScaledTrainingEpoch measures one real scaled training epoch of

@@ -6,7 +6,8 @@
 //
 //	aibench list
 //	aibench run <id> [-epochs N] [-seed S] [-quasi]
-//	aibench characterize <id> [-gpu xp|rtx]
+//	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-v]
+//	aibench characterize <id|all> [-gpu xp|rtx] [-workers N]
 //	aibench subset
 //	aibench costs
 //	aibench report <table1..table7|figure1a..figure7|all>
@@ -16,6 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
+	"time"
 
 	"aibench"
 )
@@ -31,6 +35,8 @@ func main() {
 		cmdList(suite)
 	case "run":
 		cmdRun(suite, os.Args[2:])
+	case "run-all":
+		cmdRunAll(suite, os.Args[2:])
 	case "characterize":
 		cmdCharacterize(suite, os.Args[2:])
 	case "subset":
@@ -46,7 +52,27 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|characterize|subset|costs|report> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|characterize|subset|costs|report> [args]")
+}
+
+// parseWithID parses fs against args accepting the positional id before,
+// after, or between the flags. The flag package stops at the first
+// positional argument, so the documented `aibench characterize <id>
+// [-gpu rtx]` form would otherwise silently drop every flag after the
+// id. Returns "" when no positional was given.
+func parseWithID(fs *flag.FlagSet, args []string) string {
+	id := ""
+	for len(args) > 0 {
+		fs.Parse(args)
+		if fs.NArg() == 0 {
+			break
+		}
+		if id == "" {
+			id = fs.Arg(0)
+		}
+		args = fs.Args()[1:]
+	}
+	return id
 }
 
 func cmdList(s *aibench.Suite) {
@@ -66,14 +92,14 @@ func cmdRun(s *aibench.Suite, args []string) {
 	epochs := fs.Int("epochs", 150, "maximum epochs (entire) or exact epochs (quasi)")
 	seed := fs.Int64("seed", 42, "random seed")
 	quasi := fs.Bool("quasi", false, "run a quasi-entire session (fixed epochs)")
-	fs.Parse(args)
-	if fs.NArg() < 1 {
+	id := parseWithID(fs, args)
+	if id == "" {
 		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi]")
 		os.Exit(2)
 	}
-	b := s.Benchmark(fs.Arg(0))
+	b := s.Benchmark(id)
 	if b == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try `aibench list`)\n", fs.Arg(0))
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try `aibench list`)\n", id)
 		os.Exit(1)
 	}
 	kind := aibench.EntireSession
@@ -87,21 +113,70 @@ func cmdRun(s *aibench.Suite, args []string) {
 		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal)
 }
 
+func cmdRunAll(s *aibench.Suite, args []string) {
+	fs := flag.NewFlagSet("run-all", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "pool width (0 = GOMAXPROCS)")
+	epochs := fs.Int("epochs", 150, "maximum epochs (entire) or exact epochs (quasi)")
+	seed := fs.Int64("seed", 42, "base seed; per-benchmark seeds are derived deterministically")
+	quasi := fs.Bool("quasi", false, "run quasi-entire sessions (fixed epochs)")
+	verbose := fs.Bool("v", false, "stream per-epoch progress from every session")
+	fs.Parse(args)
+	kind := aibench.EntireSession
+	if *quasi {
+		kind = aibench.QuasiEntireSession
+	}
+	width := *workers
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	cfg := aibench.SessionConfig{Kind: kind, Seed: *seed, MaxEpochs: *epochs}
+	if *verbose {
+		cfg.Log = os.Stdout
+	}
+	start := time.Now()
+	results := s.RunAllScaled(cfg, width)
+	elapsed := time.Since(start)
+	if *verbose {
+		fmt.Println()
+	}
+	fmt.Printf("%-12s %-34s %7s %9s %9s %s\n", "ID", "Name", "Epochs", "Quality", "Target", "Reached")
+	reached := 0
+	for _, r := range results {
+		if r.ReachedGoal {
+			reached++
+		}
+		fmt.Printf("%-12s %-34s %7d %9.4f %9.4f %v\n",
+			r.ID, r.Name, r.Epochs, r.FinalQuality, r.Target, r.ReachedGoal)
+	}
+	fmt.Printf("\n%d/%d sessions reached their target in %s (workers=%d)\n",
+		reached, len(results), elapsed.Round(time.Millisecond), width)
+}
+
 func cmdCharacterize(s *aibench.Suite, args []string) {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	gpu := fs.String("gpu", "xp", "device: xp (Titan XP) or rtx (Titan RTX)")
-	fs.Parse(args)
-	if fs.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: aibench characterize <id> [-gpu xp|rtx]")
+	workers := fs.Int("workers", 0, "pool width for `characterize all` (0 = GOMAXPROCS)")
+	id := parseWithID(fs, args)
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "usage: aibench characterize <id|all> [-gpu xp|rtx] [-workers N]")
 		os.Exit(2)
 	}
 	dev := aibench.TitanXP()
 	if *gpu == "rtx" {
 		dev = aibench.TitanRTX()
 	}
-	b := s.Benchmark(fs.Arg(0))
+	if id == "all" {
+		fmt.Printf("%-12s %-28s %12s %10s %8s %6s %6s\n", "ID", "Task", "MFLOPs", "MParams", "Epochs", "Occ", "IPC")
+		for _, c := range s.CharacterizeAll(dev, *workers) {
+			fmt.Printf("%-12s %-28s %12.2f %10.2f %8.1f %6.3f %6.3f\n",
+				c.ID, c.Task, c.MFLOPs, c.MParams, c.Epochs,
+				c.Metrics.AchievedOccupancy, c.Metrics.IPCEfficiency)
+		}
+		return
+	}
+	b := s.Benchmark(id)
 	if b == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", fs.Arg(0))
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", id)
 		os.Exit(1)
 	}
 	c := b.Characterize(dev)
@@ -111,8 +186,24 @@ func cmdCharacterize(s *aibench.Suite, args []string) {
 		c.Metrics.AchievedOccupancy, c.Metrics.IPCEfficiency,
 		c.Metrics.GldEfficiency, c.Metrics.GstEfficiency, c.Metrics.DramUtilization)
 	fmt.Println("  runtime breakdown:")
+	// Sort by descending share (category name breaks ties) so output is
+	// reproducible run to run despite map iteration order.
+	type catShare struct {
+		cat   string
+		share float64
+	}
+	shares := make([]catShare, 0, len(c.Shares))
 	for cat, share := range c.Shares {
-		fmt.Printf("    %-20s %5.1f%%\n", cat, share*100)
+		shares = append(shares, catShare{string(cat), share})
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].share != shares[j].share {
+			return shares[i].share > shares[j].share
+		}
+		return shares[i].cat < shares[j].cat
+	})
+	for _, cs := range shares {
+		fmt.Printf("    %-20s %5.1f%%\n", cs.cat, cs.share*100)
 	}
 	fmt.Println("  top hotspot functions:")
 	for i, h := range c.Hotspots {

@@ -1,0 +1,3 @@
+module aibench
+
+go 1.24

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"aibench/internal/gpusim"
+	"aibench/internal/parallel"
+)
+
+// DeriveSeed deterministically derives a per-benchmark seed from the
+// suite-level base seed and the benchmark id (FNV-1a over the id, mixed
+// with the base). Because the derivation depends only on (base, id) —
+// never on scheduling order — a suite run produces identical sessions
+// whether benchmarks execute serially or across any number of workers.
+func DeriveSeed(base int64, id string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	const golden = uint64(0x9e3779b97f4a7c15) // 2^64/phi, spreads nearby bases
+	s := int64((h.Sum64() ^ (uint64(base) * golden)) & 0x7fffffffffffffff)
+	return s
+}
+
+// syncWriter serializes concurrent session logs onto one underlying
+// writer. Each session emits whole lines per Write call, so guarding
+// individual Writes keeps interleaved progress lines intact.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// RunSuiteScaled executes a scaled training session for every benchmark
+// in bs across a bounded worker pool (workers <= 0 means GOMAXPROCS)
+// and returns the results in bs order. Each benchmark trains with a
+// seed derived via DeriveSeed, and progress lines from concurrent
+// sessions are interleaved safely through a mutex-guarded writer, so
+// results are bitwise independent of the worker count.
+func RunSuiteScaled(bs []*Benchmark, cfg SessionConfig, workers int) []SessionResult {
+	base := cfg
+	if cfg.Log != nil {
+		base.Log = &syncWriter{w: cfg.Log}
+	}
+	pool := parallel.New(workers)
+	return parallel.Map(pool, bs, func(i int, b *Benchmark) SessionResult {
+		c := base
+		c.Seed = DeriveSeed(cfg.Seed, b.ID)
+		return b.RunScaledSession(c)
+	})
+}
+
+// CharacterizeSuiteParallel characterizes bs on dev across a bounded
+// worker pool (workers <= 0 means GOMAXPROCS), returning results in bs
+// order. Characterization is analytic and per-benchmark independent,
+// so the parallel run is exactly CharacterizeSuite, faster.
+func CharacterizeSuiteParallel(bs []*Benchmark, dev gpusim.Device, workers int) []Characterization {
+	pool := parallel.New(workers)
+	return parallel.Map(pool, bs, func(i int, b *Benchmark) Characterization {
+		return b.Characterize(dev)
+	})
+}

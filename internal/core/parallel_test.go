@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aibench/internal/gpusim"
+)
+
+func sameSessionResults(t *testing.T, got, want []SessionResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("result counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Name != w.Name || g.Kind != w.Kind ||
+			g.Epochs != w.Epochs || g.ReachedGoal != w.ReachedGoal {
+			t.Fatalf("result %d metadata differs:\n got %+v\nwant %+v", i, g, w)
+		}
+		if math.Float64bits(g.FinalQuality) != math.Float64bits(w.FinalQuality) ||
+			math.Float64bits(g.Target) != math.Float64bits(w.Target) {
+			t.Fatalf("result %d quality differs: %v/%v vs %v/%v",
+				i, g.FinalQuality, g.Target, w.FinalQuality, w.Target)
+		}
+		if len(g.Losses) != len(w.Losses) {
+			t.Fatalf("result %d loss traces differ in length: %d vs %d", i, len(g.Losses), len(w.Losses))
+		}
+		for e := range g.Losses {
+			if math.Float64bits(g.Losses[e]) != math.Float64bits(w.Losses[e]) {
+				t.Fatalf("result %d (%s) epoch %d loss differs bitwise: %v vs %v",
+					i, g.ID, e+1, g.Losses[e], w.Losses[e])
+			}
+		}
+	}
+}
+
+// TestRunSuiteScaledDeterministic is the engine's core guarantee: the
+// worker count is a pure scheduling knob. An 8-worker run must return
+// bitwise-identical SessionResults (losses included) to a 1-worker run.
+func TestRunSuiteScaledDeterministic(t *testing.T) {
+	r := NewRegistry()
+	cfg := SessionConfig{Kind: QuasiEntireSession, MaxEpochs: 2, Seed: 42}
+	serial := RunSuiteScaled(r.All(), cfg, 1)
+	parallel8 := RunSuiteScaled(r.All(), cfg, 8)
+	sameSessionResults(t, parallel8, serial)
+
+	if len(serial) != 24 {
+		t.Fatalf("suite ran %d sessions, want 24", len(serial))
+	}
+	for i, b := range r.All() {
+		if serial[i].ID != b.ID {
+			t.Fatalf("result %d is %s, want registry order (%s)", i, serial[i].ID, b.ID)
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(42, "DC-AI-C1") != DeriveSeed(42, "DC-AI-C1") {
+		t.Fatal("DeriveSeed is not stable")
+	}
+	if DeriveSeed(42, "DC-AI-C1") == DeriveSeed(42, "DC-AI-C2") {
+		t.Fatal("DeriveSeed collides across benchmark ids")
+	}
+	if DeriveSeed(1, "DC-AI-C1") == DeriveSeed(2, "DC-AI-C1") {
+		t.Fatal("DeriveSeed ignores the base seed")
+	}
+	seen := map[int64]string{}
+	for _, b := range NewRegistry().All() {
+		s := DeriveSeed(7, b.ID)
+		if s < 0 {
+			t.Fatalf("DeriveSeed(7, %s) = %d, want non-negative", b.ID, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, b.ID)
+		}
+		seen[s] = b.ID
+	}
+}
+
+// TestRunSuiteScaledLogLinesIntact runs concurrent logged sessions and
+// checks every line in the shared stream is a whole, well-formed
+// progress line from exactly one session (no torn interleaving).
+func TestRunSuiteScaledLogLinesIntact(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	bs := r.AIBench[:6]
+	RunSuiteScaled(bs, SessionConfig{Kind: QuasiEntireSession, MaxEpochs: 1, Seed: 1, Log: &buf}, 6)
+	ids := map[string]bool{}
+	for _, b := range bs {
+		ids[b.ID] = true
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !ids[fields[0]] || fields[1] != "epoch" {
+			t.Fatalf("torn or malformed log line: %q", line)
+		}
+		lines++
+	}
+	if lines != len(bs) {
+		t.Fatalf("got %d log lines, want one per session (%d)", lines, len(bs))
+	}
+}
+
+// TestCharacterizeSuiteParallelMatchesSerial checks the pooled
+// characterization is exactly the serial pipeline, in order.
+func TestCharacterizeSuiteParallelMatchesSerial(t *testing.T) {
+	r := NewRegistry()
+	dev := gpusim.TitanXP()
+	bs := append(r.AIBench[:4:4], r.MLPerf[:2]...)
+	serial := CharacterizeSuite(bs, dev)
+	pooled := CharacterizeSuiteParallel(bs, dev, 4)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatal("parallel characterization differs from serial")
+	}
+}

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"aibench/internal/models"
 	"aibench/internal/workload"
@@ -52,16 +53,33 @@ type Benchmark struct {
 	// Factory builds the scaled executable workload.
 	Factory models.Factory
 
-	spec *workload.Model // cached paper-scale architecture
+	spec *workload.Model // cached paper-scale architecture, guarded by specMu
 }
 
-// Spec returns the paper-scale architecture (cached).
+// specMu guards every Benchmark's spec cache. A single package-level
+// mutex (rather than a per-Benchmark lock) keeps Benchmark free of
+// lock fields so the registry tables can stay plain value literals;
+// the spec itself is computed outside the lock, so concurrent
+// characterization of different benchmarks does not serialize.
+var specMu sync.Mutex
+
+// Spec returns the paper-scale architecture (cached; safe for
+// concurrent use by the parallel characterization pool).
 func (b *Benchmark) Spec() workload.Model {
+	specMu.Lock()
+	cached := b.spec
+	specMu.Unlock()
+	if cached != nil {
+		return *cached
+	}
+	m := b.Factory(1).Spec() // idempotent: duplicate concurrent builds agree
+	specMu.Lock()
 	if b.spec == nil {
-		m := b.Factory(1).Spec()
 		b.spec = &m
 	}
-	return *b.spec
+	cached = b.spec
+	specMu.Unlock()
+	return *cached
 }
 
 // InSubset reports whether the benchmark belongs to the paper's minimum

@@ -1,0 +1,146 @@
+// Package parallel implements the bounded fork-join worker pool the
+// suite uses to execute benchmarks and split tensor-kernel loops across
+// CPU cores. The pool is stateless between calls: every For/ForEach
+// spawns extra goroutines, drains an atomic index counter with the
+// calling goroutine participating, and joins before returning, so
+// nested use (a pooled suite run whose sessions call pooled matmuls)
+// cannot deadlock.
+//
+// Nested levels share one process-wide budget of GOMAXPROCS extra
+// workers, acquired non-blockingly: when the suite pool already has a
+// session per core, the matmuls inside run serially instead of forking
+// another GOMAXPROCS goroutines each, and when only one session runs,
+// its kernels pick up the whole budget. Total compute goroutines stay
+// ~GOMAXPROCS regardless of how calls nest, without any configuration
+// threading.
+//
+// Work is handed out one index at a time, so uneven per-index cost
+// (e.g. benchmarks whose epochs differ by 100x) still balances across
+// workers. Panics inside fn are captured and re-raised on the caller's
+// goroutine, preserving the tensor package's panic-on-shape-error
+// contract.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// extraTokens is the process-wide budget of extra workers beyond each
+// call's own goroutine. Buffered-channel counting semaphore; acquired
+// with a non-blocking send so nested For calls degrade to serial
+// rather than deadlock or oversubscribe.
+var extraTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+func tryAcquire() bool {
+	select {
+	case extraTokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func release() { <-extraTokens }
+
+// Pool bounds the number of goroutines a For/Map/ForEach call may use.
+// The zero value is not ready for use; construct with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. A non-positive width defaults
+// to runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) for every i in [0, n), using at most the pool's
+// worker count of goroutines (including the caller). With one worker
+// (or n <= 1) it degrades to a plain serial loop on the calling
+// goroutine.
+func (p *Pool) ForEach(n int, fn func(i int)) { For(p.workers, n, fn) }
+
+// Map applies fn to every element of in and collects the results in
+// order. fn receives the element index and value.
+func Map[T, R any](p *Pool, in []T, fn func(i int, v T) R) []R {
+	out := make([]R, len(in))
+	p.ForEach(len(in), func(i int) { out[i] = fn(i, in[i]) })
+	return out
+}
+
+// For is the free-function form of Pool.ForEach: it runs fn(i) for
+// i in [0, n) across at most workers goroutines including the caller
+// (non-positive means GOMAXPROCS), further capped by the process-wide
+// extra-worker budget. Indices are claimed from a shared atomic
+// counter, so execution order across goroutines is nondeterministic
+// but every index runs exactly once.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	extra := 0
+	for extra < workers-1 && tryAcquire() {
+		extra++
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	capture := func() {
+		if r := recover(); r != nil {
+			panicMu.Lock()
+			if panicked == nil {
+				panicked = r
+			}
+			panicMu.Unlock()
+		}
+	}
+	drain := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			defer release()
+			defer capture()
+			drain()
+		}()
+	}
+	func() { // the caller drains too; capture so workers still join
+		defer capture()
+		drain()
+	}()
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

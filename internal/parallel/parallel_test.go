@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3).Workers() = %d", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		New(workers).ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	ran := 0
+	New(4).ForEach(0, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("ForEach(0) ran %d times", ran)
+	}
+	New(4).ForEach(1, func(i int) { ran += i + 1 })
+	if ran != 1 {
+		t.Fatalf("ForEach(1) ran fn(%d)", ran)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 257)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(New(8), in, func(i, v int) int { return v * v })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	var total atomic.Int64
+	p := New(4)
+	p.ForEach(8, func(i int) {
+		p.ForEach(8, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested ForEach ran %d inner iterations, want 64", total.Load())
+	}
+}
+
+// TestForSharesGlobalWorkerBudget asserts the process-wide cap: no
+// matter how wide the requested pool, concurrently-active bodies never
+// exceed the caller plus GOMAXPROCS extra workers.
+func TestForSharesGlobalWorkerBudget(t *testing.T) {
+	bound := int32(runtime.GOMAXPROCS(0) + 1)
+	var active, peak atomic.Int32
+	For(64, 256, func(i int) {
+		a := active.Add(1)
+		for {
+			p := peak.Load()
+			if a <= p || peak.CompareAndSwap(p, a) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+		active.Add(-1)
+	})
+	if got := peak.Load(); got > bound {
+		t.Fatalf("peak concurrency %d exceeds budget %d", got, bound)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	For(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}

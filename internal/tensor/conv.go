@@ -28,29 +28,28 @@ func Im2Col(x *Tensor, p Conv2DParams) *Tensor {
 	}
 	k := p.Kernel
 	cols := New(n*oh*ow, c*k*k)
-	row := 0
-	for img := 0; img < n; img++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				dst := cols.Data[row*c*k*k : (row+1)*c*k*k]
-				di := 0
-				for ch := 0; ch < c; ch++ {
-					base := (img*c + ch) * h * w
-					for ky := 0; ky < k; ky++ {
-						iy := oy*p.Stride - p.Padding + ky
-						for kx := 0; kx < k; kx++ {
-							ix := ox*p.Stride - p.Padding + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								dst[di] = x.Data[base+iy*w+ix]
-							}
-							di++
-						}
+	// Each output row unfolds one (img, oy, ox) receptive field into its
+	// own slice of cols, so rows parallelize with no shared writes.
+	parRows(n*oh*ow, n*oh*ow*c*k*k, func(row int) {
+		img := row / (oh * ow)
+		oy := row / ow % oh
+		ox := row % ow
+		dst := cols.Data[row*c*k*k : (row+1)*c*k*k]
+		di := 0
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for ky := 0; ky < k; ky++ {
+				iy := oy*p.Stride - p.Padding + ky
+				for kx := 0; kx < k; kx++ {
+					ix := ox*p.Stride - p.Padding + kx
+					if iy >= 0 && iy < h && ix >= 0 && ix < w {
+						dst[di] = x.Data[base+iy*w+ix]
 					}
+					di++
 				}
-				row++
 			}
 		}
-	}
+	})
 	return cols
 }
 
@@ -106,17 +105,17 @@ func Conv2D(x, weight *Tensor, p Conv2DParams) *Tensor {
 	cols := Im2Col(x, p)                              // (n*oh*ow) × (c*k*k)
 	wmat := weight.Reshape(outC, c*p.Kernel*p.Kernel) // outC × (c*k*k)
 	prod := MatMulT(cols, wmat)                       // (n*oh*ow) × outC
-	// Rearrange rows from (img,oy,ox)×outC to NCHW.
+	// Rearrange rows from (img,oy,ox)×outC to NCHW; every (img,pix) row
+	// writes a disjoint column of out, so rows parallelize cleanly.
 	out := New(n, outC, oh, ow)
 	plane := oh * ow
-	for img := 0; img < n; img++ {
-		for pix := 0; pix < plane; pix++ {
-			src := prod.Data[(img*plane+pix)*outC : (img*plane+pix+1)*outC]
-			for oc := 0; oc < outC; oc++ {
-				out.Data[(img*outC+oc)*plane+pix] = src[oc]
-			}
+	parRows(n*plane, n*plane*outC, func(r int) {
+		img, pix := r/plane, r%plane
+		src := prod.Data[r*outC : (r+1)*outC]
+		for oc := 0; oc < outC; oc++ {
+			out.Data[(img*outC+oc)*plane+pix] = src[oc]
 		}
-	}
+	})
 	return out
 }
 

@@ -1,8 +1,33 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
 
-// MatMul multiplies two 2-D tensors: (m×k) · (k×n) → (m×n).
+	"aibench/internal/parallel"
+)
+
+// parallelFLOPs is the approximate multiply-add count above which the
+// matmul/conv kernels split their outer loop across CPU cores. Below
+// it the goroutine fork-join overhead outweighs the work, so kernels
+// fall back to the plain serial loops. Both paths compute each output
+// row with identical operation order, so results are byte-identical
+// either way; the threshold only decides scheduling.
+const parallelFLOPs = 1 << 17
+
+// parRows runs fn over [0, rows) — across the cores when the kernel is
+// large enough to amortize the fork-join, serially otherwise.
+func parRows(rows int, flops int, fn func(i int)) {
+	if flops >= parallelFLOPs && rows > 1 {
+		parallel.For(0, rows, fn)
+		return
+	}
+	for i := 0; i < rows; i++ {
+		fn(i)
+	}
+}
+
+// MatMul multiplies two 2-D tensors: (m×k) · (k×n) → (m×n). Large
+// products are row-parallel across CPU cores.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
@@ -14,8 +39,9 @@ func MatMul(a, b *Tensor) *Tensor {
 	}
 	out := New(m, n)
 	// ikj loop order keeps the inner loop streaming over contiguous rows
-	// of b and out, which matters even for the scaled models.
-	for i := 0; i < m; i++ {
+	// of b and out, which matters even for the scaled models. Each output
+	// row depends only on one row of a, so rows parallelize cleanly.
+	parRows(m, m*ka*n, func(i int) {
 		arow := a.Data[i*ka : (i+1)*ka]
 		orow := out.Data[i*n : (i+1)*n]
 		for k := 0; k < ka; k++ {
@@ -28,7 +54,7 @@ func MatMul(a, b *Tensor) *Tensor {
 				orow[j] += av * brow[j]
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -44,7 +70,7 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims differ: %v vs %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
+	parRows(m, m*ka*n, func(i int) {
 		arow := a.Data[i*ka : (i+1)*ka]
 		orow := out.Data[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
@@ -55,7 +81,7 @@ func MatMulT(a, b *Tensor) *Tensor {
 			}
 			orow[j] = s
 		}
-	}
+	})
 	return out
 }
 
@@ -70,20 +96,22 @@ func TMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims differ: %v vs %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for k := 0; k < ka; k++ {
-		arow := a.Data[k*m : (k+1)*m]
-		brow := b.Data[k*n : (k+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
+	// i-outer/k-middle order so output rows are independent and can be
+	// split across cores; per-element accumulation still runs k ascending,
+	// matching the k-outer serial order bit for bit.
+	parRows(m, m*ka*n, func(i int) {
+		orow := out.Data[i*n : (i+1)*n]
+		for k := 0; k < ka; k++ {
+			av := a.Data[k*m+i]
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*n : (i+1)*n]
+			brow := b.Data[k*n : (k+1)*n]
 			for j := 0; j < n; j++ {
 				orow[j] += av * brow[j]
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -38,8 +39,13 @@ func KaimingNormal(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
 }
 
 // Bernoulli fills a new tensor with 1/keep with probability keep and 0
-// otherwise (inverted-dropout mask convention).
+// otherwise (inverted-dropout mask convention). keep must lie in (0, 1]:
+// keep <= 0 would make the 1/keep scale +Inf or negative and silently
+// poison every downstream activation.
 func Bernoulli(rng *rand.Rand, keep float64, shape ...int) *Tensor {
+	if keep <= 0 || keep > 1 {
+		panic(fmt.Sprintf("tensor: Bernoulli keep probability %v outside (0, 1]", keep))
+	}
 	t := New(shape...)
 	inv := 1 / keep
 	for i := range t.Data {
