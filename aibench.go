@@ -22,6 +22,7 @@
 package aibench
 
 import (
+	"context"
 	"io"
 
 	"aibench/internal/core"
@@ -56,6 +57,10 @@ type (
 	VariationResult = core.VariationResult
 	// SubsetCandidate is one row of the subset-selection scoring.
 	SubsetCandidate = core.SubsetCandidate
+	// ScalingRow is one benchmark's data-parallel scaling measurement.
+	ScalingRow = core.ScalingRow
+	// ScalingPoint is one shard count of a scaling measurement.
+	ScalingPoint = core.ScalingPoint
 	// Device describes a simulated GPU.
 	Device = gpusim.Device
 )
@@ -119,6 +124,23 @@ func CharacterizeAll(bs []*Benchmark, dev Device) []Characterization {
 // from the concurrent sessions.
 func (s *Suite) RunAllScaled(cfg SessionConfig, workers int) []SessionResult {
 	return core.RunSuiteScaled(s.reg.All(), cfg, workers)
+}
+
+// RunAllScaledStream is RunAllScaled with completion streaming and
+// cancellation: sink, when non-nil, receives each SessionResult as its
+// session completes (calls are serialized), so long runs can persist
+// partial results; once ctx is cancelled or a session panics, no new
+// session launches. Never-launched slots are zero-valued (empty ID) in
+// the returned slice.
+func (s *Suite) RunAllScaledStream(ctx context.Context, cfg SessionConfig, workers int, sink func(SessionResult)) []SessionResult {
+	return core.RunSuiteScaledStream(ctx, s.reg.All(), cfg, workers, sink)
+}
+
+// ScalingReport measures within-session data-parallel scaling (epoch
+// wall-clock and speedup versus 1 shard) for every shardable benchmark
+// in bs at each shard count. Pass s.All() to sweep the whole suite.
+func (s *Suite) ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []ScalingRow {
+	return core.ScalingReport(bs, shards, epochs, seed)
 }
 
 // CharacterizeAll profiles every registered benchmark on the device

@@ -5,8 +5,9 @@
 // Usage:
 //
 //	aibench list
-//	aibench run <id> [-epochs N] [-seed S] [-quasi]
-//	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-v]
+//	aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N]
+//	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-shards N] [-out results.jsonl] [-v]
+//	aibench scaling [id] [-shards 1,2,4] [-epochs N] [-seed S]
 //	aibench characterize <id|all> [-gpu xp|rtx] [-workers N]
 //	aibench subset
 //	aibench costs
@@ -14,11 +15,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"aibench"
@@ -37,6 +43,8 @@ func main() {
 		cmdRun(suite, os.Args[2:])
 	case "run-all":
 		cmdRunAll(suite, os.Args[2:])
+	case "scaling":
+		cmdScaling(suite, os.Args[2:])
 	case "characterize":
 		cmdCharacterize(suite, os.Args[2:])
 	case "subset":
@@ -52,7 +60,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|characterize|subset|costs|report> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|subset|costs|report> [args]")
 }
 
 // parseWithID parses fs against args accepting the positional id before,
@@ -92,9 +100,10 @@ func cmdRun(s *aibench.Suite, args []string) {
 	epochs := fs.Int("epochs", 150, "maximum epochs (entire) or exact epochs (quasi)")
 	seed := fs.Int64("seed", 42, "random seed")
 	quasi := fs.Bool("quasi", false, "run a quasi-entire session (fixed epochs)")
+	shards := fs.Int("shards", 0, "data-parallel shard workers (0 = serial; results are bitwise identical for any count)")
 	id := parseWithID(fs, args)
 	if id == "" {
-		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi]")
+		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N]")
 		os.Exit(2)
 	}
 	b := s.Benchmark(id)
@@ -107,10 +116,13 @@ func cmdRun(s *aibench.Suite, args []string) {
 		kind = aibench.QuasiEntireSession
 	}
 	res := b.RunScaledSession(aibench.SessionConfig{
-		Kind: kind, Seed: *seed, MaxEpochs: *epochs, Log: os.Stdout,
+		Kind: kind, Seed: *seed, MaxEpochs: *epochs, Shards: *shards, Log: os.Stdout,
 	})
-	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v\n",
-		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal)
+	if *shards > 0 && res.Shards == 0 {
+		fmt.Printf("(%s has no shardable train step; ran serial)\n", b.ID)
+	}
+	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v shards=%d\n",
+		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal, res.Shards)
 }
 
 func cmdRunAll(s *aibench.Suite, args []string) {
@@ -119,6 +131,8 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	epochs := fs.Int("epochs", 150, "maximum epochs (entire) or exact epochs (quasi)")
 	seed := fs.Int64("seed", 42, "base seed; per-benchmark seeds are derived deterministically")
 	quasi := fs.Bool("quasi", false, "run quasi-entire sessions (fixed epochs)")
+	shards := fs.Int("shards", 0, "data-parallel shard workers per session (0 = serial)")
+	out := fs.String("out", "", "stream results to this JSONL file as sessions complete")
 	verbose := fs.Bool("v", false, "stream per-epoch progress from every session")
 	fs.Parse(args)
 	kind := aibench.EntireSession
@@ -129,27 +143,121 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
 	}
-	cfg := aibench.SessionConfig{Kind: kind, Seed: *seed, MaxEpochs: *epochs}
+	cfg := aibench.SessionConfig{Kind: kind, Seed: *seed, MaxEpochs: *epochs, Shards: *shards}
 	if *verbose {
 		cfg.Log = os.Stdout
 	}
+
+	// Interrupting a long run stops launching new sessions; sessions
+	// already running finish and still reach the JSONL stream. Once the
+	// first interrupt lands, default signal handling is restored so a
+	// second Ctrl-C force-quits instead of being swallowed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	var sink func(aibench.SessionResult)
+	var outFile *os.File
+	var sinkErr error
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		outFile = f
+		enc := json.NewEncoder(f)
+		sink = func(r aibench.SessionResult) {
+			// Calls are serialized by the suite engine; keep the first
+			// write error so a full disk can't masquerade as success.
+			if err := enc.Encode(r); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+	}
+
 	start := time.Now()
-	results := s.RunAllScaled(cfg, width)
+	results := s.RunAllScaledStream(ctx, cfg, width, sink)
 	elapsed := time.Since(start)
 	if *verbose {
 		fmt.Println()
 	}
-	fmt.Printf("%-12s %-34s %7s %9s %9s %s\n", "ID", "Name", "Epochs", "Quality", "Target", "Reached")
-	reached := 0
+	fmt.Printf("%-12s %-34s %7s %7s %9s %9s %s\n", "ID", "Name", "Epochs", "Shards", "Quality", "Target", "Reached")
+	reached, ran := 0, 0
 	for _, r := range results {
+		if r.ID == "" {
+			continue // session never launched (run interrupted)
+		}
+		ran++
 		if r.ReachedGoal {
 			reached++
 		}
-		fmt.Printf("%-12s %-34s %7d %9.4f %9.4f %v\n",
-			r.ID, r.Name, r.Epochs, r.FinalQuality, r.Target, r.ReachedGoal)
+		fmt.Printf("%-12s %-34s %7d %7d %9.4f %9.4f %v\n",
+			r.ID, r.Name, r.Epochs, r.Shards, r.FinalQuality, r.Target, r.ReachedGoal)
 	}
 	fmt.Printf("\n%d/%d sessions reached their target in %s (workers=%d)\n",
-		reached, len(results), elapsed.Round(time.Millisecond), width)
+		reached, ran, elapsed.Round(time.Millisecond), width)
+	if ran < len(results) {
+		fmt.Printf("interrupted: %d sessions never launched\n", len(results)-ran)
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+		if sinkErr != nil {
+			fmt.Fprintf(os.Stderr, "error writing %s: %v\n", *out, sinkErr)
+			os.Exit(1)
+		}
+		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, ran)
+	}
+}
+
+// cmdScaling sweeps data-parallel shard counts over the shardable
+// benchmarks and prints time per epoch plus speedup versus one shard.
+func cmdScaling(s *aibench.Suite, args []string) {
+	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
+	shardsCSV := fs.String("shards", "1,2,4", "comma-separated shard counts to measure")
+	epochs := fs.Int("epochs", 2, "epochs to time per point")
+	seed := fs.Int64("seed", 42, "base seed")
+	id := parseWithID(fs, args)
+	var shards []int
+	for _, tok := range strings.Split(*shardsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -shards value %q\n", tok)
+			os.Exit(2)
+		}
+		shards = append(shards, n)
+	}
+	bs := s.All()
+	if id != "" {
+		b := s.Benchmark(id)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", id)
+			os.Exit(1)
+		}
+		if !b.Shardable() {
+			fmt.Fprintf(os.Stderr, "%s has no shardable train step\n", id)
+			os.Exit(1)
+		}
+		bs = []*aibench.Benchmark{b}
+	}
+	rows := s.ScalingReport(bs, shards, *epochs, *seed)
+	if len(rows) == 0 {
+		fmt.Println("no shardable benchmarks selected")
+		return
+	}
+	fmt.Printf("%-12s %-24s %8s %12s %9s\n", "ID", "Name", "Shards", "Sec/Epoch", "Speedup")
+	for _, row := range rows {
+		for i, p := range row.Points {
+			id, name := row.ID, row.Name
+			if i > 0 {
+				id, name = "", ""
+			}
+			fmt.Printf("%-12s %-24s %8d %12.4f %8.2fx\n", id, name, p.Shards, p.SecPerEpoch, p.Speedup)
+		}
+	}
+	fmt.Println("\n(identical losses at every shard count; speedup is pure scheduling gain)")
 }
 
 func cmdCharacterize(s *aibench.Suite, args []string) {

@@ -64,6 +64,18 @@ func (v *Value) ZeroGrad() {
 	}
 }
 
+// EnsureGrad returns v's gradient buffer, allocating a zero-filled one
+// of the data's shape on first use. It lets external training engines
+// (internal/dist's all-reduce installs combined gradients before the
+// optimizer step) write gradients without reaching into backward-pass
+// internals.
+func (v *Value) EnsureGrad() *tensor.Tensor {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Shape()...)
+	}
+	return v.Grad
+}
+
 // accumGrad adds g into v's gradient buffer, allocating it on first use.
 func (v *Value) accumGrad(g *tensor.Tensor) {
 	if !v.requiresGrad {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"hash/fnv"
 	"io"
 	"sync"
@@ -43,16 +44,37 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 // sessions are interleaved safely through a mutex-guarded writer, so
 // results are bitwise independent of the worker count.
 func RunSuiteScaled(bs []*Benchmark, cfg SessionConfig, workers int) []SessionResult {
+	return RunSuiteScaledStream(context.Background(), bs, cfg, workers, nil)
+}
+
+// RunSuiteScaledStream is RunSuiteScaled with completion streaming and
+// cancellation: sink, when non-nil, receives each SessionResult as its
+// session finishes (calls are serialized; completion order is
+// scheduler-dependent, result contents are not), so long runs can
+// persist partial results as they arrive. Once ctx is cancelled — or
+// any session panics — no new session launches; sessions already
+// running finish and are still delivered. Slots for sessions that
+// never launched are zero-valued (empty ID) in the returned slice.
+func RunSuiteScaledStream(ctx context.Context, bs []*Benchmark, cfg SessionConfig, workers int, sink func(SessionResult)) []SessionResult {
 	base := cfg
 	if cfg.Log != nil {
 		base.Log = &syncWriter{w: cfg.Log}
 	}
+	out := make([]SessionResult, len(bs))
+	var mu sync.Mutex
 	pool := parallel.New(workers)
-	return parallel.Map(pool, bs, func(i int, b *Benchmark) SessionResult {
+	pool.ForEachCtx(ctx, len(bs), func(i int) {
 		c := base
-		c.Seed = DeriveSeed(cfg.Seed, b.ID)
-		return b.RunScaledSession(c)
+		c.Seed = DeriveSeed(cfg.Seed, bs[i].ID)
+		r := bs[i].RunScaledSession(c)
+		out[i] = r
+		if sink != nil {
+			mu.Lock()
+			sink(r)
+			mu.Unlock()
+		}
 	})
+	return out
 }
 
 // CharacterizeSuiteParallel characterizes bs on dev across a bounded

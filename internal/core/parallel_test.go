@@ -3,6 +3,8 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"encoding/json"
 	"math"
 	"reflect"
 	"strings"
@@ -106,6 +108,88 @@ func TestRunSuiteScaledLogLinesIntact(t *testing.T) {
 	}
 	if lines != len(bs) {
 		t.Fatalf("got %d log lines, want one per session (%d)", lines, len(bs))
+	}
+}
+
+// TestRunSuiteScaledStreamDeliversEveryResult checks the JSONL-backing
+// stream: every completed session reaches the sink exactly once, sink
+// contents match the returned slice, and the stream round-trips
+// through JSON encoding (the run-all -out persistence format).
+func TestRunSuiteScaledStreamDeliversEveryResult(t *testing.T) {
+	r := NewRegistry()
+	bs := r.AIBench[:5]
+	cfg := SessionConfig{Kind: QuasiEntireSession, MaxEpochs: 1, Seed: 3}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	streamed := map[string]SessionResult{}
+	results := RunSuiteScaledStream(context.Background(), bs, cfg, 4, func(res SessionResult) {
+		if _, dup := streamed[res.ID]; dup {
+			t.Errorf("result %s streamed twice", res.ID)
+		}
+		streamed[res.ID] = res
+		enc.Encode(res)
+	})
+	if len(streamed) != len(bs) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(bs))
+	}
+	for _, res := range results {
+		got, ok := streamed[res.ID]
+		if !ok {
+			t.Fatalf("result %s never streamed", res.ID)
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Fatalf("streamed %s differs from returned result", res.ID)
+		}
+	}
+	dec := json.NewDecoder(&buf)
+	lines := 0
+	for dec.More() {
+		var res SessionResult
+		if err := dec.Decode(&res); err != nil {
+			t.Fatalf("JSONL line %d does not decode: %v", lines, err)
+		}
+		if !reflect.DeepEqual(res, streamed[res.ID]) {
+			t.Fatalf("JSONL round-trip of %s lost data", res.ID)
+		}
+		lines++
+	}
+	if lines != len(bs) {
+		t.Fatalf("JSONL stream has %d lines, want %d", lines, len(bs))
+	}
+}
+
+// TestRunSuiteScaledStreamCancelled checks a dead context launches no
+// session: the sink never fires and every slot is zero-valued.
+func TestRunSuiteScaledStreamCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRegistry()
+	cfg := SessionConfig{Kind: QuasiEntireSession, MaxEpochs: 1, Seed: 3}
+	results := RunSuiteScaledStream(ctx, r.AIBench[:4], cfg, 2, func(SessionResult) {
+		t.Error("sink fired under a pre-cancelled context")
+	})
+	for i, res := range results {
+		if res.ID != "" {
+			t.Fatalf("slot %d ran (%s) under a pre-cancelled context", i, res.ID)
+		}
+	}
+}
+
+// TestRunSuiteScaledShardsDeterministic checks suite fan-out composes
+// with within-session sharding: a sharded pooled run equals a sharded
+// serial run bitwise, and shardable benchmarks report their count.
+func TestRunSuiteScaledShardsDeterministic(t *testing.T) {
+	r := NewRegistry()
+	bs := []*Benchmark{r.ByID("DC-AI-C1"), r.ByID("DC-AI-C3"), r.ByID("DC-AI-C10")}
+	cfg := SessionConfig{Kind: QuasiEntireSession, MaxEpochs: 2, Seed: 42, Shards: 3}
+	serial := RunSuiteScaled(bs, cfg, 1)
+	pooled := RunSuiteScaled(bs, cfg, 3)
+	sameSessionResults(t, pooled, serial)
+	wantShards := map[string]int{"DC-AI-C1": 3, "DC-AI-C3": 0, "DC-AI-C10": 3}
+	for _, res := range serial {
+		if res.Shards != wantShards[res.ID] {
+			t.Fatalf("%s ran with Shards=%d, want %d", res.ID, res.Shards, wantShards[res.ID])
+		}
 	}
 }
 

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"aibench/internal/dist"
+)
+
+// ScalingPoint is one measured shard count of a benchmark's scaling
+// sweep.
+type ScalingPoint struct {
+	Shards      int     `json:"shards"`
+	SecPerEpoch float64 `json:"sec_per_epoch"`
+	// Speedup is the 1-shard time per epoch divided by this point's
+	// (1.0 at 1 shard; > 1 means the shards helped).
+	Speedup float64 `json:"speedup"`
+}
+
+// ScalingRow is one benchmark's within-session scaling measurement.
+type ScalingRow struct {
+	ID     string         `json:"id"`
+	Name   string         `json:"name"`
+	Points []ScalingPoint `json:"points"`
+}
+
+// ScalingReport measures data-parallel scaling for every shardable
+// benchmark in bs: each shard count trains `epochs` epochs through
+// internal/dist and reports wall-clock time per epoch plus speedup
+// against the 1-shard baseline. The training itself is bitwise
+// identical at every point (the dist determinism contract), so the
+// sweep measures pure scheduling gain. Benchmarks without a shardable
+// train step are skipped.
+func ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []ScalingRow {
+	if epochs <= 0 {
+		epochs = 2
+	}
+	var rows []ScalingRow
+	for _, b := range bs {
+		if !b.Shardable() {
+			continue
+		}
+		baseline := timeShardedEpochs(b, 1, epochs, seed)
+		row := ScalingRow{ID: b.ID, Name: b.Task}
+		for _, n := range shards {
+			sec := baseline
+			if n != 1 {
+				sec = timeShardedEpochs(b, n, epochs, seed)
+			}
+			row.Points = append(row.Points, ScalingPoint{
+				Shards: n, SecPerEpoch: sec, Speedup: baseline / sec,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// timeShardedEpochs trains `epochs` epochs at the given shard count and
+// returns the mean wall-clock seconds per epoch.
+func timeShardedEpochs(b *Benchmark, n, epochs int, seed int64) float64 {
+	eng, err := dist.New(b.Factory, DeriveSeed(seed, b.ID), dist.NewLocal(n))
+	if err != nil {
+		return 0
+	}
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		eng.TrainEpoch()
+	}
+	return time.Since(start).Seconds() / float64(epochs)
+}

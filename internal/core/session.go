@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"aibench/internal/dist"
 	"aibench/internal/models"
 )
 
@@ -25,39 +26,75 @@ const (
 type SessionConfig struct {
 	Kind      SessionKind
 	Seed      int64
-	MaxEpochs int       // cap for EntireSession; epoch count for QuasiEntire
-	Log       io.Writer // optional progress stream
+	MaxEpochs int // cap for EntireSession; epoch count for QuasiEntire
+	// Shards selects data-parallel training: 0 runs the classic serial
+	// TrainEpoch loop; N >= 1 routes through internal/dist with N
+	// workers when the benchmark supports sharding (losses are bitwise
+	// identical for every N, so the count is a pure scheduling knob).
+	// Benchmarks without a shardable train step fall back to serial.
+	Shards int
+	Log    io.Writer // optional progress stream
 }
 
 // SessionResult records one scaled training session.
 type SessionResult struct {
-	ID           string
-	Name         string
-	Kind         SessionKind
-	Epochs       int
-	ReachedGoal  bool
-	FinalQuality float64
-	Target       float64
-	Losses       []float64
+	ID     string      `json:"id"`
+	Name   string      `json:"name"`
+	Kind   SessionKind `json:"kind"`
+	Epochs int         `json:"epochs"`
+	// Shards is the data-parallel worker count the session actually
+	// trained with; 0 means the serial path (unsharded config, or a
+	// benchmark without a shardable train step).
+	Shards       int       `json:"shards"`
+	ReachedGoal  bool      `json:"reached_goal"`
+	FinalQuality float64   `json:"final_quality"`
+	Target       float64   `json:"target"`
+	Losses       []float64 `json:"losses"`
+}
+
+// epochTrainer is one epoch of work plus its evaluation — implemented
+// both by the scaled workloads themselves (serial path) and by the
+// data-parallel dist.Engine.
+type epochTrainer interface {
+	TrainEpoch() float64
+	Quality() float64
 }
 
 // RunScaledSession executes a real training session of the scaled model
 // through the tensor/autograd/nn/optim stack: an entire session stops
 // when the scaled quality target is met, a quasi-entire session runs the
-// fixed epoch budget (Section 3.4's distinction).
+// fixed epoch budget (Section 3.4's distinction). With cfg.Shards >= 1
+// the session trains data-parallel through internal/dist — each step's
+// batch splits across shard workers and gradients combine with a
+// deterministic all-reduce — when the benchmark supports it.
 func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 	if cfg.MaxEpochs <= 0 {
 		cfg.MaxEpochs = 150
 	}
-	w := b.Factory(cfg.Seed)
+	var (
+		w       models.Benchmark
+		trainer epochTrainer
+		shards  int
+	)
+	if cfg.Shards > 0 && b.Shardable() {
+		eng, err := dist.New(b.Factory, cfg.Seed, dist.NewLocal(cfg.Shards))
+		if err != nil {
+			panic(err) // unreachable: Shardable() vouched for the factory
+		}
+		w, trainer, shards = eng.Benchmark(), eng, eng.Workers()
+	}
+	if trainer == nil { // serial path (Shards == 0, or not shardable)
+		wl := b.Factory(cfg.Seed)
+		w, trainer = wl, wl
+	}
 	res := SessionResult{
-		ID: b.ID, Name: w.Name(), Kind: cfg.Kind, Target: w.ScaledTarget(),
+		ID: b.ID, Name: w.Name(), Kind: cfg.Kind, Shards: shards, Target: w.ScaledTarget(),
 	}
 	for ep := 1; ep <= cfg.MaxEpochs; ep++ {
-		loss := w.TrainEpoch()
+		loss := trainer.TrainEpoch()
 		res.Losses = append(res.Losses, loss)
 		res.Epochs = ep
-		q := w.Quality()
+		q := trainer.Quality()
 		res.FinalQuality = q
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "%s epoch %d: loss=%.4f quality=%.4f\n", b.ID, ep, loss, q)
@@ -71,6 +108,26 @@ func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 		res.ReachedGoal = true // quasi-entire sessions complete by definition
 	}
 	return res
+}
+
+// Shardable reports whether the benchmark's workload supports
+// data-parallel sharded sessions. The answer requires building a
+// throwaway workload, so it is cached (same discipline as the Spec
+// cache; safe for concurrent use).
+func (b *Benchmark) Shardable() bool {
+	specMu.Lock()
+	cached := b.shardable
+	specMu.Unlock()
+	if cached != nil {
+		return *cached
+	}
+	v := dist.Shardable(b.Factory) // idempotent: duplicate concurrent probes agree
+	specMu.Lock()
+	if b.shardable == nil {
+		b.shardable = &v
+	}
+	specMu.Unlock()
+	return v
 }
 
 // ReplaySession simulates an entire paper-scale session: epochs drawn

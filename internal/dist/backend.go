@@ -1,0 +1,43 @@
+package dist
+
+import "aibench/internal/parallel"
+
+// Backend is the scheduler interface the engine runs replica phases
+// on. Run must invoke fn exactly once per rank in [0, Workers()) and
+// return only after every invocation completes (a barrier). Because
+// the engine's determinism comes from the fixed grain decomposition
+// and the fixed-order reduce — never from scheduling — a backend may
+// execute ranks with any concurrency, including serially. The
+// in-process Local pool is the only implementation today; the
+// ROADMAP's process and remote backends slot in here without touching
+// callers.
+type Backend interface {
+	// Workers returns the number of replica ranks.
+	Workers() int
+	// Run invokes fn(rank) for every rank and joins.
+	Run(fn func(rank int))
+}
+
+// Local is the in-process pool backend: ranks run as goroutines drawn
+// from the process-wide internal/parallel worker budget, so sharded
+// sessions nest safely inside a pooled suite run without
+// oversubscribing cores.
+type Local struct {
+	workers int
+}
+
+// NewLocal returns a Local backend with the given number of replica
+// ranks (minimum 1).
+func NewLocal(workers int) *Local {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Local{workers: workers}
+}
+
+// Workers implements Backend.
+func (l *Local) Workers() int { return l.workers }
+
+// Run implements Backend: one index per rank through the shared
+// fork-join pool (panics inside fn propagate to the caller).
+func (l *Local) Run(fn func(rank int)) { parallel.For(l.workers, l.workers, fn) }

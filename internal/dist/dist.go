@@ -1,0 +1,332 @@
+// Package dist implements data-parallel sharded training for the
+// scaled benchmarks: one identically-seeded model replica per worker,
+// each epoch's macro-batches split into a fixed set of micro-shards
+// ("grains"), per-grain gradients combined with a deterministic
+// fixed-order all-reduce, and one identical optimizer step applied by
+// every replica.
+//
+// Determinism contract (the within-session counterpart of
+// internal/parallel's suite-level guarantee): the worker count is a
+// pure scheduling knob. The grain decomposition is a property of the
+// benchmark, every replica draws the same batches (keeping dataset RNG
+// streams in lockstep), a grain's gradient is bitwise independent of
+// which replica computes it, and the reduce always combines grains in
+// the same order — so losses, parameters, and qualities are
+// bitwise-identical for any worker count from 1 upward.
+//
+// The engine talks to workers only through the Backend scheduler
+// interface; the in-process pool backend is the first implementation,
+// and the ROADMAP's process/remote backends slot in behind the same
+// interface without touching callers.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"aibench/internal/models"
+	"aibench/internal/nn"
+	"aibench/internal/tensor"
+)
+
+// ErrNotShardable reports that a benchmark's workload does not
+// implement models.ShardedTrainer and cannot train data-parallel.
+var ErrNotShardable = errors.New("dist: benchmark does not implement models.ShardedTrainer")
+
+// grainResult is one grain's contribution, recorded by the replica
+// that computed it and merged by the coordinator in grain order.
+type grainResult struct {
+	grain int
+	loss  float64
+	n     int
+	grad  []float64 // flattened module gradient after this grain alone
+	buf   []float64 // flattened buffer state after this grain alone
+}
+
+// Engine trains one benchmark data-parallel across a backend's
+// replica ranks.
+type Engine struct {
+	backend   Backend
+	reduction Reduction
+
+	replicas []models.ShardedTrainer
+	params   [][]*nn.Param      // per-rank trainable parameters
+	buffers  [][]*tensor.Tensor // per-rank non-gradient state (may be empty)
+	paramLen int
+	bufLen   int
+
+	bufSnap    []float64       // canonical buffer state at step start
+	results    [][]grainResult // per-rank grain contributions this step
+	grainCount []int           // per-rank observed grain count (validated equal)
+	reduced    []float64       // all-reduced gradient
+	reducedBuf []float64       // all-reduced buffer state
+
+	// Reusable scratch: the step loop is exactly what ScalingReport and
+	// BenchmarkShardedSession wall-clock, so the fixed-size per-grain
+	// vectors are allocated once and recycled instead of churning the GC
+	// every step.
+	gradScratch [][][]float64 // [rank][k]: flattened grads of the rank's k-th grain
+	bufScratch  [][][]float64 // [rank][k]: buffer captures of the rank's k-th grain
+	order       []*grainResult
+	vecs        [][]float64
+	scalars     [][]float64
+	weights     []float64
+}
+
+// New builds a data-parallel engine for the factory's benchmark: one
+// replica per backend rank, every replica constructed from the same
+// seed (bitwise-identical initialization). A nil backend defaults to a
+// single-rank Local pool. Returns ErrNotShardable when the workload
+// does not expose a shardable train step.
+func New(factory models.Factory, seed int64, backend Backend) (*Engine, error) {
+	if backend == nil {
+		backend = NewLocal(1)
+	}
+	w := backend.Workers()
+	e := &Engine{
+		backend:     backend,
+		reduction:   Linear,
+		replicas:    make([]models.ShardedTrainer, w),
+		params:      make([][]*nn.Param, w),
+		buffers:     make([][]*tensor.Tensor, w),
+		results:     make([][]grainResult, w),
+		grainCount:  make([]int, w),
+		gradScratch: make([][][]float64, w),
+		bufScratch:  make([][][]float64, w),
+	}
+	for r := 0; r < w; r++ {
+		st, ok := factory(seed).(models.ShardedTrainer)
+		if !ok {
+			return nil, ErrNotShardable
+		}
+		e.replicas[r] = st
+		e.params[r] = st.Module().Params()
+		if bt, ok := st.(models.Buffered); ok {
+			e.buffers[r] = bt.Buffers()
+		}
+	}
+	for _, p := range e.params[0] {
+		e.paramLen += p.Value.Data.Size()
+	}
+	for _, b := range e.buffers[0] {
+		e.bufLen += b.Size()
+	}
+	e.bufSnap = make([]float64, e.bufLen)
+	e.reduced = make([]float64, e.paramLen)
+	e.reducedBuf = make([]float64, e.bufLen)
+	return e, nil
+}
+
+// Shardable reports whether the factory's benchmark supports
+// data-parallel training (implements models.ShardedTrainer).
+func Shardable(factory models.Factory) bool {
+	_, ok := factory(1).(models.ShardedTrainer)
+	return ok
+}
+
+// SetReduction selects the all-reduce combination order (Linear by
+// default). Must be called before training starts.
+func (e *Engine) SetReduction(r Reduction) { e.reduction = r }
+
+// Workers returns the backend's replica count.
+func (e *Engine) Workers() int { return e.backend.Workers() }
+
+// Benchmark returns the rank-0 replica (for metadata: name, target,
+// metric direction). All replicas are bitwise-identical.
+func (e *Engine) Benchmark() models.Benchmark { return e.replicas[0] }
+
+// TrainEpoch runs one data-parallel epoch and returns the mean step
+// loss, matching the Benchmark.TrainEpoch contract.
+func (e *Engine) TrainEpoch() float64 {
+	e.backend.Run(func(r int) { e.replicas[r].BeginEpoch() })
+	steps := e.replicas[0].StepsPerEpoch()
+	if steps <= 0 {
+		return 0
+	}
+	total := 0.0
+	for s := 0; s < steps; s++ {
+		total += e.step()
+	}
+	return total / float64(steps)
+}
+
+// Quality evaluates the benchmark metric. Every replica evaluates —
+// evaluation may draw from the dataset RNG stream (negative sampling),
+// and identical draws keep all replicas in lockstep — and the engine
+// verifies the replicas agree before returning the shared value.
+func (e *Engine) Quality() float64 {
+	q := make([]float64, len(e.replicas))
+	e.backend.Run(func(r int) { q[r] = e.replicas[r].Quality() })
+	for r := 1; r < len(q); r++ {
+		if math.Float64bits(q[r]) != math.Float64bits(q[0]) {
+			panic(fmt.Sprintf("dist: replica %d quality %v diverged from replica 0 quality %v", r, q[r], q[0]))
+		}
+	}
+	return q[0]
+}
+
+// step executes one data-parallel optimizer step: compute grains,
+// all-reduce, apply.
+func (e *Engine) step() float64 {
+	w := e.backend.Workers()
+	e.snapshotBuffers()
+
+	// Compute phase: every replica draws the step's macro-batch (the
+	// identical draw keeps dataset RNG streams in lockstep) and runs
+	// forward/backward for its round-robin share of grains, recording
+	// each grain's gradient and buffer capture in isolation.
+	e.backend.Run(func(r int) {
+		grains := e.replicas[r].BeginStep()
+		e.grainCount[r] = len(grains)
+		e.results[r] = e.results[r][:0]
+		k := 0
+		for g := r; g < len(grains); g += w {
+			e.restoreBuffers(r)
+			zeroGrads(e.params[r])
+			loss, n := grains[g]()
+			grad := scratchVec(&e.gradScratch[r], k, e.paramLen)
+			e.flattenGradsInto(r, grad)
+			buf := scratchVec(&e.bufScratch[r], k, e.bufLen)
+			e.flattenBuffersInto(r, buf)
+			e.results[r] = append(e.results[r], grainResult{
+				grain: g, loss: loss, n: n, grad: grad, buf: buf,
+			})
+			k++
+		}
+	})
+
+	// Gather grains in canonical order and all-reduce.
+	total := e.grainCount[0]
+	for r := 1; r < w; r++ {
+		if e.grainCount[r] != total {
+			panic(fmt.Sprintf("dist: replica %d produced %d grains, replica 0 produced %d", r, e.grainCount[r], total))
+		}
+	}
+	if len(e.order) != total {
+		e.order = make([]*grainResult, total)
+		e.vecs = make([][]float64, total)
+		e.weights = make([]float64, total)
+		e.scalars = make([][]float64, total)
+		for g := range e.scalars {
+			e.scalars[g] = make([]float64, 1)
+		}
+	}
+	for r := range e.results {
+		for i := range e.results[r] {
+			gr := &e.results[r][i]
+			e.order[gr.grain] = gr
+		}
+	}
+	samples := 0
+	for _, gr := range e.order {
+		samples += gr.n
+	}
+	for g, gr := range e.order {
+		e.vecs[g] = gr.grad
+		e.scalars[g][0] = gr.loss
+		e.weights[g] = float64(gr.n) / float64(samples)
+	}
+	Reduce(e.reduction, e.vecs, e.weights, e.reduced)
+	var lossOut [1]float64
+	Reduce(e.reduction, e.scalars, e.weights, lossOut[:])
+	stepLoss := lossOut[0]
+	if e.bufLen > 0 {
+		for g, gr := range e.order {
+			e.vecs[g] = gr.buf
+		}
+		Reduce(e.reduction, e.vecs, e.weights, e.reducedBuf)
+	}
+
+	// Apply phase: install the reduced gradient (and buffer state) on
+	// every replica and apply the identical optimizer step, keeping
+	// replicas bitwise in lockstep.
+	e.backend.Run(func(r int) {
+		e.installGrads(r)
+		e.installBuffers(r)
+		e.replicas[r].ApplyStep()
+	})
+	return stepLoss
+}
+
+// snapshotBuffers records the canonical buffer state at step start
+// (all replicas are identical; rank 0 is read).
+func (e *Engine) snapshotBuffers() {
+	off := 0
+	for _, b := range e.buffers[0] {
+		off += copy(e.bufSnap[off:], b.Data)
+	}
+}
+
+// restoreBuffers resets rank r's buffers to the step-start snapshot so
+// every grain's capture starts from the same state regardless of which
+// grains this replica ran before it.
+func (e *Engine) restoreBuffers(r int) {
+	off := 0
+	for _, b := range e.buffers[r] {
+		off += copy(b.Data, e.bufSnap[off:off+b.Size()])
+	}
+}
+
+// scratchVec returns the k-th reusable vector of the pool, growing the
+// pool on first use. Each grain slot is written by exactly one rank per
+// step, so reuse is race-free.
+func scratchVec(pool *[][]float64, k, n int) []float64 {
+	for len(*pool) <= k {
+		*pool = append(*pool, make([]float64, n))
+	}
+	return (*pool)[k]
+}
+
+// flattenGradsInto copies rank r's parameter gradients into the flat
+// vector (nil gradients contribute zeros; dst is fully overwritten).
+func (e *Engine) flattenGradsInto(r int, dst []float64) {
+	off := 0
+	for _, p := range e.params[r] {
+		n := p.Value.Data.Size()
+		if g := p.Value.Grad; g != nil {
+			copy(dst[off:off+n], g.Data)
+		} else {
+			for j := off; j < off+n; j++ {
+				dst[j] = 0
+			}
+		}
+		off += n
+	}
+}
+
+// flattenBuffersInto copies rank r's buffer state into the flat vector.
+func (e *Engine) flattenBuffersInto(r int, dst []float64) {
+	off := 0
+	for _, b := range e.buffers[r] {
+		off += copy(dst[off:], b.Data)
+	}
+}
+
+// installGrads writes the all-reduced gradient into rank r's
+// parameters.
+func (e *Engine) installGrads(r int) {
+	off := 0
+	for _, p := range e.params[r] {
+		n := p.Value.Data.Size()
+		copy(p.Value.EnsureGrad().Data, e.reduced[off:off+n])
+		off += n
+	}
+}
+
+// installBuffers writes the all-reduced buffer state into rank r's
+// buffers.
+func (e *Engine) installBuffers(r int) {
+	off := 0
+	for _, b := range e.buffers[r] {
+		off += copy(b.Data, e.reducedBuf[off:off+b.Size()])
+	}
+}
+
+// zeroGrads clears every parameter gradient before a grain runs, so
+// the grain's backward pass records its contribution alone.
+func zeroGrads(ps []*nn.Param) {
+	for _, p := range ps {
+		p.Value.ZeroGrad()
+	}
+}

@@ -1,0 +1,182 @@
+package dist_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"aibench/internal/core"
+	"aibench/internal/dist"
+	"aibench/internal/models"
+)
+
+// shardedIDs are the benchmarks with shardable train steps, covering
+// SGD and Adam, conv/batch-norm, grid-sampling, embedding, and
+// distillation-curriculum training.
+var shardedIDs = []string{"DC-AI-C1", "DC-AI-C10", "DC-AI-C15", "DC-AI-C16"}
+
+func runSession(t *testing.T, id string, shards, epochs int, kind core.SessionKind) core.SessionResult {
+	t.Helper()
+	b := core.NewRegistry().ByID(id)
+	if b == nil {
+		t.Fatalf("unknown benchmark %s", id)
+	}
+	return b.RunScaledSession(core.SessionConfig{
+		Kind: kind, Seed: 42, MaxEpochs: epochs, Shards: shards,
+	})
+}
+
+func sameResult(t *testing.T, id string, shards int, got, want core.SessionResult) {
+	t.Helper()
+	if got.Epochs != want.Epochs || got.ReachedGoal != want.ReachedGoal {
+		t.Fatalf("%s shards=%d: epochs/goal (%d,%v) differ from 1-shard (%d,%v)",
+			id, shards, got.Epochs, got.ReachedGoal, want.Epochs, want.ReachedGoal)
+	}
+	if math.Float64bits(got.FinalQuality) != math.Float64bits(want.FinalQuality) {
+		t.Fatalf("%s shards=%d: quality %v differs bitwise from 1-shard %v",
+			id, shards, got.FinalQuality, want.FinalQuality)
+	}
+	if len(got.Losses) != len(want.Losses) {
+		t.Fatalf("%s shards=%d: %d epochs of losses, 1-shard has %d",
+			id, shards, len(got.Losses), len(want.Losses))
+	}
+	for e := range got.Losses {
+		if math.Float64bits(got.Losses[e]) != math.Float64bits(want.Losses[e]) {
+			t.Fatalf("%s shards=%d epoch %d: loss %v differs bitwise from 1-shard %v",
+				id, shards, e+1, got.Losses[e], want.Losses[e])
+		}
+	}
+}
+
+// TestShardedLossesBitwiseIdentical is the engine's core guarantee:
+// the shard count is a pure scheduling knob. Per-epoch losses (and
+// qualities) with Shards in {2,4,7} must be bitwise identical to
+// Shards=1 for every sharded benchmark.
+func TestShardedLossesBitwiseIdentical(t *testing.T) {
+	for _, id := range shardedIDs {
+		base := runSession(t, id, 1, 3, core.QuasiEntireSession)
+		if base.Shards != 1 {
+			t.Fatalf("%s: expected dist path at Shards=1, got Shards=%d", id, base.Shards)
+		}
+		for _, n := range []int{2, 4, 7} {
+			got := runSession(t, id, n, 3, core.QuasiEntireSession)
+			if got.Shards != n {
+				t.Fatalf("%s: expected dist path at Shards=%d, got Shards=%d", id, n, got.Shards)
+			}
+			sameResult(t, id, n, got, base)
+		}
+	}
+}
+
+// TestShardedEntireSessionIdentical checks determinism extends to
+// entire sessions, whose epoch count depends on the quality trajectory:
+// early stopping must trigger at the same epoch for every shard count.
+func TestShardedEntireSessionIdentical(t *testing.T) {
+	base := runSession(t, "DC-AI-C1", 1, 6, core.EntireSession)
+	for _, n := range []int{2, 7} {
+		sameResult(t, "DC-AI-C1", n, runSession(t, "DC-AI-C1", n, 6, core.EntireSession), base)
+	}
+}
+
+// TestTreeReductionDeterministic checks the alternative fixed-topology
+// tree all-reduce is also worker-count invariant (its results may
+// differ from Linear's, but never across shard counts).
+func TestTreeReductionDeterministic(t *testing.T) {
+	factory := findFactory(t, "DC-AI-C10")
+	train := func(shards int) []float64 {
+		eng, err := dist.New(factory, 7, dist.NewLocal(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetReduction(dist.Tree)
+		losses := make([]float64, 3)
+		for e := range losses {
+			losses[e] = eng.TrainEpoch()
+		}
+		return losses
+	}
+	base := train(1)
+	for _, n := range []int{3, 8} {
+		got := train(n)
+		for e := range base {
+			if math.Float64bits(got[e]) != math.Float64bits(base[e]) {
+				t.Fatalf("tree reduce shards=%d epoch %d: %v != %v", n, e+1, got[e], base[e])
+			}
+		}
+	}
+}
+
+// TestNotShardableFallsBackToSerial checks a benchmark without a
+// shardable train step runs the classic serial session (bitwise equal
+// to a Shards=0 run) and reports Shards=0.
+func TestNotShardableFallsBackToSerial(t *testing.T) {
+	serial := runSession(t, "DC-AI-C3", 0, 2, core.QuasiEntireSession)
+	sharded := runSession(t, "DC-AI-C3", 4, 2, core.QuasiEntireSession)
+	if serial.Shards != 0 || sharded.Shards != 0 {
+		t.Fatalf("expected serial fallback (Shards=0), got %d and %d", serial.Shards, sharded.Shards)
+	}
+	sameResult(t, "DC-AI-C3", 4, sharded, serial)
+}
+
+// TestAllReduceUnderContention trains with more replica workers than
+// GOMAXPROCS so the compute/reduce/apply phases interleave under real
+// scheduling pressure; under `go test -race` this is the all-reduce
+// race check.
+func TestAllReduceUnderContention(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	eng, err := dist.New(findFactory(t, "DC-AI-C1"), 3, dist.NewLocal(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		eng.TrainEpoch()
+	}
+	if q := eng.Quality(); math.IsNaN(q) {
+		t.Fatal("quality is NaN after contended training")
+	}
+}
+
+// TestShardableRegistry pins down which benchmarks advertise sharding.
+func TestShardableRegistry(t *testing.T) {
+	want := map[string]bool{}
+	for _, id := range shardedIDs {
+		want[id] = true
+	}
+	for _, b := range core.NewRegistry().All() {
+		if got := b.Shardable(); got != want[b.ID] {
+			t.Fatalf("%s: Shardable() = %v, want %v", b.ID, got, want[b.ID])
+		}
+	}
+}
+
+func findFactory(tb testing.TB, id string) models.Factory {
+	tb.Helper()
+	for _, e := range models.AllEntries() {
+		if e.ID == id {
+			return e.Factory
+		}
+	}
+	tb.Fatalf("no factory for %s", id)
+	return nil
+}
+
+// BenchmarkShardedSession measures one data-parallel epoch of the
+// image-classification benchmark (the suite's flagship CNN) at 1, 2,
+// and 4 shard workers. Training is bitwise identical at every width,
+// so on a multi-core runner the higher widths show pure wall-clock
+// speedup.
+func BenchmarkShardedSession(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "shards=1", 2: "shards=2", 4: "shards=4"}[shards], func(b *testing.B) {
+			eng, err := dist.New(findFactory(b, "DC-AI-C1"), 11, dist.NewLocal(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.TrainEpoch()
+			}
+		})
+	}
+}

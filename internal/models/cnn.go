@@ -5,6 +5,7 @@ import (
 
 	"aibench/internal/autograd"
 	"aibench/internal/nn"
+	"aibench/internal/tensor"
 )
 
 // convBlock is conv → batchnorm → relu, the workhorse of every CNN here.
@@ -29,6 +30,8 @@ func (b *convBlock) Params() []*nn.Param {
 }
 
 func (b *convBlock) SetTraining(train bool) { b.bn.SetTraining(train) }
+
+func (b *convBlock) Buffers() []*tensor.Tensor { return b.bn.Buffers() }
 
 // residualBlock is the scaled bottleneck: two 3×3 conv-bn stages with an
 // identity shortcut (1×1 projection when channels change).
@@ -68,6 +71,10 @@ func (r *residualBlock) Params() []*nn.Param {
 func (r *residualBlock) SetTraining(train bool) {
 	r.a.SetTraining(train)
 	r.b.SetTraining(train)
+}
+
+func (r *residualBlock) Buffers() []*tensor.Tensor {
+	return append(r.a.Buffers(), r.b.Buffers()...)
 }
 
 // miniResNet is the scaled stand-in for ResNet-50: stem + two residual
@@ -116,6 +123,11 @@ func (m *miniResNet) SetTraining(train bool) {
 	m.stem.SetTraining(train)
 	m.stage1.SetTraining(train)
 	m.stage2.SetTraining(train)
+}
+
+func (m *miniResNet) Buffers() []*tensor.Tensor {
+	bs := append(m.stem.Buffers(), m.stage1.Buffers()...)
+	return append(bs, m.stage2.Buffers()...)
 }
 
 // argmaxRows extracts the predicted class per row of a logits Value.

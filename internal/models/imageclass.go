@@ -60,6 +60,36 @@ func (b *ImageClassification) TrainEpoch() float64 {
 	return total / float64(b.batches)
 }
 
+// BeginEpoch implements ShardedTrainer.
+func (b *ImageClassification) BeginEpoch() { b.net.SetTraining(true) }
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *ImageClassification) StepsPerEpoch() int { return b.batches }
+
+// ApplyStep implements ShardedTrainer.
+func (b *ImageClassification) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: draw the macro-batch and split
+// it into per-grain classification sub-batches.
+func (b *ImageClassification) BeginStep() []Grain {
+	x, y := b.ds.Batch(b.batch)
+	bounds := GrainBounds(b.batch, shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			logits := b.net.Forward(autograd.Const(x.SliceRows(lo, hi)))
+			loss := autograd.SoftmaxCrossEntropy(logits, y[lo:hi])
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
+// Buffers implements Buffered: the batch-norm running statistics.
+func (b *ImageClassification) Buffers() []*tensor.Tensor { return b.net.Buffers() }
+
 // Quality implements Benchmark: Top-1 accuracy on held-out data.
 func (b *ImageClassification) Quality() float64 {
 	b.net.SetTraining(false)

@@ -55,6 +55,7 @@ type LearningToRank struct {
 	epoch         int
 	teacherEpochs int
 	batches       int
+	batch         int
 	users, items  int
 }
 
@@ -68,6 +69,7 @@ func NewLearningToRank(seed int64) *LearningToRank {
 		ds:            data.NewCheckins(seed+1000, users, items, 4),
 		teacherEpochs: 4,
 		batches:       12,
+		batch:         32,
 		users:         users,
 		items:         items,
 	}
@@ -96,7 +98,7 @@ func (b *LearningToRank) TrainEpoch() float64 {
 	total := 0.0
 	if b.epoch <= b.teacherEpochs {
 		for i := 0; i < b.batches; i++ {
-			users, pos, neg := b.ds.BPRTriple(32)
+			users, pos, neg := b.ds.BPRTriple(b.batch)
 			b.optT.ZeroGrad()
 			loss := bprLoss(b.teacher, users, pos, neg)
 			loss.Backward()
@@ -106,7 +108,7 @@ func (b *LearningToRank) TrainEpoch() float64 {
 		return total / float64(b.batches)
 	}
 	for i := 0; i < b.batches; i++ {
-		users, pos, neg := b.ds.BPRTriple(32)
+		users, pos, neg := b.ds.BPRTriple(b.batch)
 		b.optS.ZeroGrad()
 		rank := bprLoss(b.student, users, pos, neg)
 		// Distillation: student score matches the (frozen) teacher score
@@ -122,6 +124,54 @@ func (b *LearningToRank) TrainEpoch() float64 {
 		total += loss.Item()
 	}
 	return total / float64(b.batches)
+}
+
+// BeginEpoch implements ShardedTrainer: advance the distillation
+// curriculum (the sharded counterpart of TrainEpoch's epoch counter).
+func (b *LearningToRank) BeginEpoch() { b.epoch++ }
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *LearningToRank) StepsPerEpoch() int { return b.batches }
+
+// ApplyStep implements ShardedTrainer: step whichever optimizer the
+// current curriculum phase trains. The other model's parameters carry
+// all-reduced zero gradients and are untouched.
+func (b *LearningToRank) ApplyStep() {
+	if b.epoch <= b.teacherEpochs {
+		b.optT.Step()
+	} else {
+		b.optS.Step()
+	}
+}
+
+// BeginStep implements ShardedTrainer: draw the BPR triple macro-batch
+// and split it into per-grain ranking (or distillation) sub-batches.
+func (b *LearningToRank) BeginStep() []Grain {
+	users, pos, neg := b.ds.BPRTriple(b.batch)
+	teacherPhase := b.epoch <= b.teacherEpochs
+	bounds := GrainBounds(b.batch, shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			u, p, n := users[lo:hi], pos[lo:hi], neg[lo:hi]
+			var loss *autograd.Value
+			if teacherPhase {
+				loss = bprLoss(b.teacher, u, p, n)
+			} else {
+				rank := bprLoss(b.student, u, p, n)
+				tPos := b.teacher.score(u, p).Data
+				tNeg := b.teacher.score(u, n).Data
+				distill := autograd.Add(
+					autograd.MSELoss(b.student.score(u, p), tPos),
+					autograd.MSELoss(b.student.score(u, n), tNeg))
+				loss = autograd.Add(rank, autograd.Scale(distill, 0.5))
+			}
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
 }
 
 // rankItems returns all items sorted by the student's score for a user.

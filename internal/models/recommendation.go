@@ -24,6 +24,7 @@ type Recommendation struct {
 	opt     optim.Optimizer
 	ds      *data.Ratings
 	batches int
+	batch   int
 	users   int
 }
 
@@ -41,6 +42,7 @@ func NewRecommendation(seed int64) *Recommendation {
 		),
 		ds:      data.NewRatings(seed+1000, users, items, 4),
 		batches: 10,
+		batch:   32,
 		users:   users,
 	}
 	b.opt = optim.NewAdam(b.Module(), 3e-3)
@@ -62,7 +64,7 @@ func (b *Recommendation) score(users, items []int) *autograd.Value {
 func (b *Recommendation) TrainEpoch() float64 {
 	total := 0.0
 	for i := 0; i < b.batches; i++ {
-		users, items, labels := b.ds.TrainBatch(32)
+		users, items, labels := b.ds.TrainBatch(b.batch)
 		b.opt.ZeroGrad()
 		logits := b.score(users, items)
 		target := tensor.FromSlice(labels, len(labels), 1)
@@ -72,6 +74,34 @@ func (b *Recommendation) TrainEpoch() float64 {
 		total += loss.Item()
 	}
 	return total / float64(b.batches)
+}
+
+// BeginEpoch implements ShardedTrainer (no per-epoch state).
+func (b *Recommendation) BeginEpoch() {}
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *Recommendation) StepsPerEpoch() int { return b.batches }
+
+// ApplyStep implements ShardedTrainer.
+func (b *Recommendation) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: draw the interaction macro-batch
+// and split it into per-grain scoring sub-batches.
+func (b *Recommendation) BeginStep() []Grain {
+	users, items, labels := b.ds.TrainBatch(b.batch)
+	bounds := GrainBounds(b.batch, shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			logits := b.score(users[lo:hi], items[lo:hi])
+			target := tensor.FromSlice(labels[lo:hi], hi-lo, 1)
+			loss := autograd.BCEWithLogits(logits, target)
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
 }
 
 // Quality implements Benchmark: mean HR@10 over all users with 50

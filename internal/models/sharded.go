@@ -1,0 +1,76 @@
+package models
+
+import "aibench/internal/tensor"
+
+// shardGrains is the fixed number of micro-shards ("grains") every
+// sharded benchmark splits each optimizer step's macro-batch into. The
+// grain decomposition — not the worker count — defines the numeric
+// result: the all-reduce always combines the same per-grain gradients
+// in the same order, so any worker count from 1 to shardGrains is a
+// pure scheduling choice and produces bitwise-identical training.
+const shardGrains = 8
+
+// Grain computes one micro-shard of a training step on the replica
+// that owns it: it runs forward/backward for its contiguous slice of
+// the step's macro-batch, accumulating into the replica module's
+// (engine-zeroed) gradients, and returns the slice's mean loss and its
+// sample count. Grains must not draw from any RNG: every random choice
+// of a step happens in BeginStep, which all replicas execute
+// identically, so a grain's gradient is bitwise independent of which
+// replica runs it.
+type Grain func() (loss float64, n int)
+
+// ShardedTrainer is implemented by benchmarks whose optimizer step can
+// be computed data-parallel: the step's gradient is the fixed-order
+// weighted reduction of independent grain gradients. internal/dist
+// trains one identically-seeded replica per worker through this
+// interface, all-reduces grain gradients deterministically, and has
+// every replica apply the same update, keeping replicas bitwise
+// in lockstep.
+type ShardedTrainer interface {
+	Benchmark
+	// BeginEpoch advances per-epoch state (training mode, curriculum
+	// phase). Every replica calls it once at the start of each epoch.
+	BeginEpoch()
+	// StepsPerEpoch returns the number of optimizer steps in one epoch.
+	StepsPerEpoch() int
+	// BeginStep draws the step's macro-batch from the synthetic dataset
+	// stream and partitions it into grains. Every replica calls
+	// BeginStep for every step — the identical draws keep all replicas'
+	// dataset RNG streams in lockstep — and receives the same grain
+	// decomposition regardless of the worker count.
+	BeginStep() []Grain
+	// ApplyStep applies one optimizer step from the gradients currently
+	// on the module (the engine installs the all-reduced gradients
+	// before calling it).
+	ApplyStep()
+}
+
+// Buffered is implemented by sharded benchmarks carrying non-gradient
+// training state (batch-norm running statistics). The engine snapshots
+// buffers at each step's start, restores the snapshot before every
+// grain so captures are assignment-independent, and broadcasts the
+// fixed-order weighted mean of the per-grain captures to all replicas.
+type Buffered interface {
+	Buffers() []*tensor.Tensor
+}
+
+// GrainBounds splits n samples into at most grains contiguous
+// near-equal [lo,hi) ranges. The split depends only on (n, grains),
+// never on the worker count.
+func GrainBounds(n, grains int) [][2]int {
+	if grains > n {
+		grains = n
+	}
+	if grains < 1 {
+		grains = 1
+	}
+	out := make([][2]int, 0, grains)
+	lo := 0
+	for g := 0; g < grains; g++ {
+		hi := lo + (n-lo)/(grains-g)
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

@@ -25,6 +25,7 @@ type SpatialTransformer struct {
 	testX      *tensor.Tensor
 	testY      []int
 	batches    int
+	batch      int
 	h, w       int
 }
 
@@ -37,6 +38,7 @@ func NewSpatialTransformer(seed int64) *SpatialTransformer {
 		classifier: newMiniResNet(rng, 1, 6, 6),
 		ds:         data.NewImageClassification(seed+1000, 6, 1, 8, 8, 0.25),
 		batches:    8,
+		batch:      16,
 		h:          8, w: 8,
 	}
 	// Bias the localization head toward the identity transform, the
@@ -70,7 +72,7 @@ func (b *SpatialTransformer) TrainEpoch() float64 {
 	b.classifier.SetTraining(true)
 	total := 0.0
 	for i := 0; i < b.batches; i++ {
-		x, y := b.ds.DistortedBatch(16, 0.25, 0.2)
+		x, y := b.ds.DistortedBatch(b.batch, 0.25, 0.2)
 		b.opt.ZeroGrad()
 		loss := autograd.SoftmaxCrossEntropy(b.forward(autograd.Const(x)), y)
 		loss.Backward()
@@ -78,6 +80,42 @@ func (b *SpatialTransformer) TrainEpoch() float64 {
 		total += loss.Item()
 	}
 	return total / float64(b.batches)
+}
+
+// BeginEpoch implements ShardedTrainer.
+func (b *SpatialTransformer) BeginEpoch() {
+	b.locConv.SetTraining(true)
+	b.classifier.SetTraining(true)
+}
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *SpatialTransformer) StepsPerEpoch() int { return b.batches }
+
+// ApplyStep implements ShardedTrainer.
+func (b *SpatialTransformer) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: draw the distorted macro-batch
+// and split it into per-grain rectification sub-batches.
+func (b *SpatialTransformer) BeginStep() []Grain {
+	x, y := b.ds.DistortedBatch(b.batch, 0.25, 0.2)
+	bounds := GrainBounds(b.batch, shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			logits := b.forward(autograd.Const(x.SliceRows(lo, hi)))
+			loss := autograd.SoftmaxCrossEntropy(logits, y[lo:hi])
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
+// Buffers implements Buffered: batch-norm running statistics of both
+// the localization network and the classifier.
+func (b *SpatialTransformer) Buffers() []*tensor.Tensor {
+	return append(b.locConv.Buffers(), b.classifier.Buffers()...)
 }
 
 // Quality implements Benchmark: accuracy on held-out distorted images.

@@ -140,6 +140,11 @@ func (b *BatchNorm2D) Forward(x *autograd.Value) *autograd.Value {
 // Params returns gamma and beta.
 func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 
+// Buffers returns the non-gradient training state (the running mean and
+// variance), so data-parallel engines can synchronize it across
+// replicas.
+func (b *BatchNorm2D) Buffers() []*tensor.Tensor { return []*tensor.Tensor{b.RunMean, b.RunVar} }
+
 // SetTraining flips training mode.
 func (b *BatchNorm2D) SetTraining(train bool) { b.Training = train }
 

@@ -22,6 +22,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,12 @@ func (p *Pool) Workers() int { return p.workers }
 // goroutine.
 func (p *Pool) ForEach(n int, fn func(i int)) { For(p.workers, n, fn) }
 
+// ForEachCtx is ForEach with cancellation: once ctx is done, no new
+// index is claimed (indices already running finish normally).
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) {
+	ForCtx(ctx, p.workers, n, fn)
+}
+
 // Map applies fn to every element of in and collects the results in
 // order. fn receives the element index and value.
 func Map[T, R any](p *Pool, in []T, fn func(i int, v T) R) []R {
@@ -80,9 +87,21 @@ func Map[T, R any](p *Pool, in []T, fn func(i int, v T) R) []R {
 // i in [0, n) across at most workers goroutines including the caller
 // (non-positive means GOMAXPROCS), further capped by the process-wide
 // extra-worker budget. Indices are claimed from a shared atomic
-// counter, so execution order across goroutines is nondeterministic
-// but every index runs exactly once.
+// counter, so execution order across goroutines is nondeterministic;
+// no index runs twice, and on a panic-free run every index runs. If an
+// invocation panics, remaining unclaimed indices are skipped and the
+// first panic is re-raised on the caller's goroutine (see ForCtx).
 func For(workers, n int, fn func(i int)) {
+	ForCtx(context.Background(), workers, n, fn)
+}
+
+// ForCtx is For with early stopping: no new index is claimed once ctx
+// is cancelled or once any invocation of fn panics (the first panic is
+// re-raised on the caller's goroutine after the in-flight indices
+// finish). A suite run whose session dies therefore stops launching
+// new sessions instead of draining the whole work list, and callers
+// can abort long runs cleanly with a context.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -92,12 +111,27 @@ func For(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	var stop atomic.Bool
+	done := ctx.Done()
+	halted := func() bool {
+		if stop.Load() {
+			return true
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return true
+			default:
+			}
+		}
+		return false
+	}
 	extra := 0
 	for extra < workers-1 && tryAcquire() {
 		extra++
 	}
 	if extra == 0 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && !halted(); i++ {
 			fn(i)
 		}
 		return
@@ -110,6 +144,7 @@ func For(workers, n int, fn func(i int)) {
 	)
 	capture := func() {
 		if r := recover(); r != nil {
+			stop.Store(true)
 			panicMu.Lock()
 			if panicked == nil {
 				panicked = r
@@ -118,7 +153,7 @@ func For(workers, n int, fn func(i int)) {
 		}
 	}
 	drain := func() {
-		for {
+		for !halted() {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return

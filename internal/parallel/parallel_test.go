@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -103,4 +104,59 @@ func TestForPropagatesPanic(t *testing.T) {
 		}
 	})
 	t.Fatal("For returned instead of panicking")
+}
+
+// TestForStopsClaimingAfterPanic is the fail-fast contract: once a
+// body panics, workers stop claiming new indices instead of draining
+// the whole range. Non-panicking bodies sleep so in-flight work can't
+// race through the range before the panic lands.
+func TestForStopsClaimingAfterPanic(t *testing.T) {
+	const n = 512
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		For(4, n, func(i int) {
+			if i == 0 {
+				panic("die")
+			}
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		})
+	}()
+	// At most the in-flight indices (one per worker, minus the
+	// panicking one) plus a small scheduling margin may complete.
+	if got := ran.Load(); got > 32 {
+		t.Fatalf("%d of %d indices ran after the panic; fail-fast did not engage", got, n)
+	}
+}
+
+// TestForCtxCancelStopsClaiming cancels mid-run and checks no new
+// index is claimed afterwards (in-flight ones finish normally).
+func TestForCtxCancelStopsClaiming(t *testing.T) {
+	const n = 512
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	ForCtx(ctx, 4, n, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if got := ran.Load(); got > 32 {
+		t.Fatalf("%d of %d indices ran after cancellation", got, n)
+	}
+}
+
+// TestForCtxPreCancelledRunsNothing: a dead context claims no index at
+// all, including on the serial path.
+func TestForCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := int32(0)
+		ForCtx(ctx, workers, 100, func(i int) { atomic.AddInt32(&ran, 1) })
+		if ran != 0 {
+			t.Fatalf("workers=%d: %d indices ran under a pre-cancelled context", workers, ran)
+		}
+	}
 }
