@@ -1,0 +1,107 @@
+// Command aibench-benchjson converts `go test -bench` text output into
+// a compact JSON artifact mapping benchmark name → ns/op. CI runs it
+// on every push to turn the sharded-session benchmarks into a
+// per-commit performance trajectory (BENCH_<sha>.json artifacts) that
+// can be diffed or plotted across history.
+//
+// Usage:
+//
+//	go test -bench BenchmarkShardedSession -benchtime 1x -run '^$' ./internal/dist |
+//	    aibench-benchjson -sha "$GITHUB_SHA" -out BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// report is the artifact schema: commit metadata plus one ns/op entry
+// per benchmark (the -N GOMAXPROCS suffix is kept so width changes on
+// the runner are visible rather than silently merged).
+type report struct {
+	SHA     string             `json:"sha,omitempty"`
+	Results map[string]float64 `json:"results"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkShardedSession/shards=4-8   1   123456789 ns/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts benchmark name → ns/op from `go test -bench`
+// output, ignoring non-result lines (headers, PASS/ok, logs). It is an
+// error for the input to contain no results — an empty artifact would
+// silently record "no trajectory" instead of a broken benchmark run.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op %q in line %q: %v", m[2], sc.Text(), err)
+		}
+		results[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return results, nil
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark text to read (- = stdin)")
+	out := flag.String("out", "-", "JSON file to write (- = stdout)")
+	sha := flag.String("sha", "", "commit SHA recorded in the artifact")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report{SHA: *sha, Results: results}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aibench-benchjson:", err)
+	os.Exit(1)
+}

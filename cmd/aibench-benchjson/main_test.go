@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample is real-shaped `go test -bench` output with the noise lines
+// the parser must skip.
+const sample = `goos: linux
+goarch: amd64
+pkg: aibench/internal/dist
+cpu: AMD EPYC 7B13
+BenchmarkShardedSession/shards=1-8         	       1	 987654321 ns/op
+BenchmarkShardedSession/shards=2-8         	       2	 543210987.5 ns/op
+BenchmarkShardedSession/shards=4-8         	       1	 321098765 ns/op
+PASS
+ok  	aibench/internal/dist	4.321s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkShardedSession/shards=1-8": 987654321,
+		"BenchmarkShardedSession/shards=2-8": 543210987.5,
+		"BenchmarkShardedSession/shards=4-8": 321098765,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}

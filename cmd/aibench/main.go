@@ -118,8 +118,8 @@ func cmdRun(s *aibench.Suite, args []string) {
 	res := b.RunScaledSession(aibench.SessionConfig{
 		Kind: kind, Seed: *seed, MaxEpochs: *epochs, Shards: *shards, Log: os.Stdout,
 	})
-	if *shards > 0 && res.Shards == 0 {
-		fmt.Printf("(%s has no shardable train step; ran serial)\n", b.ID)
+	if res.FallbackReason != "" {
+		fmt.Printf("(%s ran serial: %s)\n", b.ID, res.FallbackReason)
 	}
 	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v shards=%d\n",
 		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal, res.Shards)

@@ -180,12 +180,12 @@ func TestRunSuiteScaledStreamCancelled(t *testing.T) {
 // serial run bitwise, and shardable benchmarks report their count.
 func TestRunSuiteScaledShardsDeterministic(t *testing.T) {
 	r := NewRegistry()
-	bs := []*Benchmark{r.ByID("DC-AI-C1"), r.ByID("DC-AI-C3"), r.ByID("DC-AI-C10")}
+	bs := []*Benchmark{r.ByID("DC-AI-C1"), r.ByID("DC-AI-C4"), r.ByID("DC-AI-C10")}
 	cfg := SessionConfig{Kind: QuasiEntireSession, MaxEpochs: 2, Seed: 42, Shards: 3}
 	serial := RunSuiteScaled(bs, cfg, 1)
 	pooled := RunSuiteScaled(bs, cfg, 3)
 	sameSessionResults(t, pooled, serial)
-	wantShards := map[string]int{"DC-AI-C1": 3, "DC-AI-C3": 0, "DC-AI-C10": 3}
+	wantShards := map[string]int{"DC-AI-C1": 3, "DC-AI-C4": 0, "DC-AI-C10": 3}
 	for _, res := range serial {
 		if res.Shards != wantShards[res.ID] {
 			t.Fatalf("%s ran with Shards=%d, want %d", res.ID, res.Shards, wantShards[res.ID])

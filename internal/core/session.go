@@ -45,11 +45,15 @@ type SessionResult struct {
 	// Shards is the data-parallel worker count the session actually
 	// trained with; 0 means the serial path (unsharded config, or a
 	// benchmark without a shardable train step).
-	Shards       int       `json:"shards"`
-	ReachedGoal  bool      `json:"reached_goal"`
-	FinalQuality float64   `json:"final_quality"`
-	Target       float64   `json:"target"`
-	Losses       []float64 `json:"losses"`
+	Shards int `json:"shards"`
+	// FallbackReason says why a session that requested sharding ran
+	// serial anyway (empty when the session trained as configured), so
+	// a misconfigured run never silently looks sharded.
+	FallbackReason string    `json:"fallback_reason,omitempty"`
+	ReachedGoal    bool      `json:"reached_goal"`
+	FinalQuality   float64   `json:"final_quality"`
+	Target         float64   `json:"target"`
+	Losses         []float64 `json:"losses"`
 }
 
 // epochTrainer is one epoch of work plus its evaluation — implemented
@@ -72,23 +76,40 @@ func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 		cfg.MaxEpochs = 150
 	}
 	var (
-		w       models.Benchmark
-		trainer epochTrainer
-		shards  int
+		w        models.Benchmark
+		trainer  epochTrainer
+		shards   int
+		fallback string
 	)
 	if cfg.Shards > 0 && b.Shardable() {
 		eng, err := dist.New(b.Factory, cfg.Seed, dist.NewLocal(cfg.Shards))
 		if err != nil {
-			panic(err) // unreachable: Shardable() vouched for the factory
+			// Shardable() vouched the train-step interface exists, but
+			// the engine also validates the phase declaration (at least
+			// one phase, a reporting phase, matching reduce groups);
+			// run serial and say why instead of crashing the session.
+			fallback = fmt.Sprintf("requested shards=%d but the dist engine rejected the workload: %v", cfg.Shards, err)
+		} else {
+			w, trainer, shards = eng.Benchmark(), eng, eng.Workers()
 		}
-		w, trainer, shards = eng.Benchmark(), eng, eng.Workers()
 	}
-	if trainer == nil { // serial path (Shards == 0, or not shardable)
+	if trainer == nil { // serial path (Shards == 0, not shardable, or rejected)
 		wl := b.Factory(cfg.Seed)
 		w, trainer = wl, wl
+		if cfg.Shards > 0 && fallback == "" {
+			fallback = fmt.Sprintf("requested shards=%d but workload implements no sharded train step (models.ShardedTrainer or models.PhasedTrainer)", cfg.Shards)
+		}
+		// Record why the run asked for data-parallel training and
+		// didn't get it, so the fallback is never mistaken for a
+		// sharded session (dist's determinism makes the two otherwise
+		// hard to tell apart from losses alone).
+		if fallback != "" && cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "%s: serial fallback: %s\n", b.ID, fallback)
+		}
 	}
 	res := SessionResult{
-		ID: b.ID, Name: w.Name(), Kind: cfg.Kind, Shards: shards, Target: w.ScaledTarget(),
+		ID: b.ID, Name: w.Name(), Kind: cfg.Kind, Shards: shards,
+		FallbackReason: fallback, Target: w.ScaledTarget(),
 	}
 	for ep := 1; ep <= cfg.MaxEpochs; ep++ {
 		loss := trainer.TrainEpoch()

@@ -1,18 +1,27 @@
 // Package dist implements data-parallel sharded training for the
 // scaled benchmarks: one identically-seeded model replica per worker,
-// each epoch's macro-batches split into a fixed set of micro-shards
+// each optimizer step decomposed into one or more ordered phases,
+// each phase's macro-batch split into a fixed set of micro-shards
 // ("grains"), per-grain gradients combined with a deterministic
-// fixed-order all-reduce, and one identical optimizer step applied by
-// every replica.
+// fixed-order all-reduce over the phase's parameter group, and one
+// identical update applied by every replica before the next phase
+// begins.
 //
 // Determinism contract (the within-session counterpart of
 // internal/parallel's suite-level guarantee): the worker count is a
-// pure scheduling knob. The grain decomposition is a property of the
-// benchmark, every replica draws the same batches (keeping dataset RNG
-// streams in lockstep), a grain's gradient is bitwise independent of
-// which replica computes it, and the reduce always combines grains in
-// the same order — so losses, parameters, and qualities are
-// bitwise-identical for any worker count from 1 upward.
+// pure scheduling knob. The phase list and grain decomposition are
+// properties of the benchmark, every replica draws the same batches
+// (keeping dataset RNG streams in lockstep), a grain's gradient is
+// bitwise independent of which replica computes it, and the reduce
+// always combines grains in the same order — so losses, parameters,
+// and qualities are bitwise-identical for any worker count from 1
+// upward.
+//
+// Phases run strictly in declared order: a WGAN's critic updates
+// complete (reduce + apply) before its generator phase draws a single
+// gradient, exactly as the serial alternating scheme demands. The
+// single-phase models.ShardedTrainer contract is executed as the
+// degenerate one-phase case through the same loop.
 //
 // The engine talks to workers only through the Backend scheduler
 // interface; the in-process pool backend is the first implementation,
@@ -30,9 +39,10 @@ import (
 	"aibench/internal/tensor"
 )
 
-// ErrNotShardable reports that a benchmark's workload does not
-// implement models.ShardedTrainer and cannot train data-parallel.
-var ErrNotShardable = errors.New("dist: benchmark does not implement models.ShardedTrainer")
+// ErrNotShardable reports that a benchmark's workload implements
+// neither models.PhasedTrainer nor models.ShardedTrainer and cannot
+// train data-parallel.
+var ErrNotShardable = errors.New("dist: benchmark implements no sharded train step (models.ShardedTrainer or models.PhasedTrainer)")
 
 // grainResult is one grain's contribution, recorded by the replica
 // that computed it and merged by the coordinator in grain order.
@@ -40,8 +50,19 @@ type grainResult struct {
 	grain int
 	loss  float64
 	n     int
-	grad  []float64 // flattened module gradient after this grain alone
+	grad  []float64 // flattened phase-group gradient after this grain alone
 	buf   []float64 // flattened buffer state after this grain alone
+}
+
+// phaseScratch holds one phase's reusable gather/reduce vectors; the
+// step loop is exactly what ScalingReport and BenchmarkShardedSession
+// wall-clock, so the fixed-size slices are allocated once per phase
+// and recycled instead of churning the GC every step.
+type phaseScratch struct {
+	order   []*grainResult
+	vecs    [][]float64
+	scalars [][]float64
+	weights []float64
 }
 
 // Engine trains one benchmark data-parallel across a backend's
@@ -50,28 +71,24 @@ type Engine struct {
 	backend   Backend
 	reduction Reduction
 
-	replicas []models.ShardedTrainer
-	params   [][]*nn.Param      // per-rank trainable parameters
+	replicas []models.PhasedTrainer
+	phases   []models.PhaseSpec
+	params   [][]*nn.Param      // per-rank full trainable parameter set
+	groups   [][][]*nn.Param    // [rank][phase]: the phase's reduce group
+	groupLen []int              // flattened length of each phase's group
 	buffers  [][]*tensor.Tensor // per-rank non-gradient state (may be empty)
 	paramLen int
 	bufLen   int
 
-	bufSnap    []float64       // canonical buffer state at step start
-	results    [][]grainResult // per-rank grain contributions this step
+	bufSnap    []float64       // canonical buffer state at phase start
+	results    [][]grainResult // per-rank grain contributions this phase
 	grainCount []int           // per-rank observed grain count (validated equal)
-	reduced    []float64       // all-reduced gradient
+	reduced    []float64       // all-reduced gradient of the current phase
 	reducedBuf []float64       // all-reduced buffer state
 
-	// Reusable scratch: the step loop is exactly what ScalingReport and
-	// BenchmarkShardedSession wall-clock, so the fixed-size per-grain
-	// vectors are allocated once and recycled instead of churning the GC
-	// every step.
-	gradScratch [][][]float64 // [rank][k]: flattened grads of the rank's k-th grain
+	gradScratch [][][]float64 // [rank][k]: paramLen-capacity per-grain vectors
 	bufScratch  [][][]float64 // [rank][k]: buffer captures of the rank's k-th grain
-	order       []*grainResult
-	vecs        [][]float64
-	scalars     [][]float64
-	weights     []float64
+	scratch     []phaseScratch
 }
 
 // New builds a data-parallel engine for the factory's benchmark: one
@@ -87,8 +104,9 @@ func New(factory models.Factory, seed int64, backend Backend) (*Engine, error) {
 	e := &Engine{
 		backend:     backend,
 		reduction:   Linear,
-		replicas:    make([]models.ShardedTrainer, w),
+		replicas:    make([]models.PhasedTrainer, w),
 		params:      make([][]*nn.Param, w),
+		groups:      make([][][]*nn.Param, w),
 		buffers:     make([][]*tensor.Tensor, w),
 		results:     make([][]grainResult, w),
 		grainCount:  make([]int, w),
@@ -96,15 +114,27 @@ func New(factory models.Factory, seed int64, backend Backend) (*Engine, error) {
 		bufScratch:  make([][][]float64, w),
 	}
 	for r := 0; r < w; r++ {
-		st, ok := factory(seed).(models.ShardedTrainer)
-		if !ok {
+		wl := factory(seed)
+		st := models.AsPhased(wl)
+		if st == nil {
 			return nil, ErrNotShardable
 		}
 		e.replicas[r] = st
 		e.params[r] = st.Module().Params()
-		if bt, ok := st.(models.Buffered); ok {
+		if bt, ok := wl.(models.Buffered); ok {
 			e.buffers[r] = bt.Buffers()
 		}
+	}
+	e.phases = e.replicas[0].Phases()
+	if len(e.phases) == 0 {
+		return nil, fmt.Errorf("dist: %s declares no phases", e.replicas[0].Name())
+	}
+	reporting := false
+	for _, p := range e.phases {
+		reporting = reporting || p.Report
+	}
+	if !reporting {
+		return nil, fmt.Errorf("dist: %s declares no reporting phase", e.replicas[0].Name())
 	}
 	for _, p := range e.params[0] {
 		e.paramLen += p.Value.Data.Size()
@@ -112,6 +142,28 @@ func New(factory models.Factory, seed int64, backend Backend) (*Engine, error) {
 	for _, b := range e.buffers[0] {
 		e.bufLen += b.Size()
 	}
+	e.groupLen = make([]int, len(e.phases))
+	for r := 0; r < w; r++ {
+		e.groups[r] = make([][]*nn.Param, len(e.phases))
+		for p := range e.phases {
+			g := e.replicas[r].PhaseParams(p)
+			if g == nil {
+				g = e.params[r]
+			}
+			e.groups[r][p] = g
+			n := 0
+			for _, pr := range g {
+				n += pr.Value.Data.Size()
+			}
+			if r == 0 {
+				e.groupLen[p] = n
+			} else if n != e.groupLen[p] {
+				return nil, fmt.Errorf("dist: replica %d phase %q group length %d differs from replica 0's %d",
+					r, e.phases[p].Name, n, e.groupLen[p])
+			}
+		}
+	}
+	e.scratch = make([]phaseScratch, len(e.phases))
 	e.bufSnap = make([]float64, e.bufLen)
 	e.reduced = make([]float64, e.paramLen)
 	e.reducedBuf = make([]float64, e.bufLen)
@@ -119,10 +171,10 @@ func New(factory models.Factory, seed int64, backend Backend) (*Engine, error) {
 }
 
 // Shardable reports whether the factory's benchmark supports
-// data-parallel training (implements models.ShardedTrainer).
+// data-parallel training (implements models.ShardedTrainer or
+// models.PhasedTrainer).
 func Shardable(factory models.Factory) bool {
-	_, ok := factory(1).(models.ShardedTrainer)
-	return ok
+	return models.AsPhased(factory(1)) != nil
 }
 
 // SetReduction selects the all-reduce combination order (Linear by
@@ -136,8 +188,13 @@ func (e *Engine) Workers() int { return e.backend.Workers() }
 // metric direction). All replicas are bitwise-identical.
 func (e *Engine) Benchmark() models.Benchmark { return e.replicas[0] }
 
+// Phases returns the benchmark's per-step phase list (one entry, named
+// "step", for single-phase trainers).
+func (e *Engine) Phases() []models.PhaseSpec { return e.phases }
+
 // TrainEpoch runs one data-parallel epoch and returns the mean step
-// loss, matching the Benchmark.TrainEpoch contract.
+// loss, matching the Benchmark.TrainEpoch contract. A step's loss is
+// the mean over its reporting phases' reduced losses.
 func (e *Engine) TrainEpoch() float64 {
 	e.backend.Run(func(r int) { e.replicas[r].BeginEpoch() })
 	steps := e.replicas[0].StepsPerEpoch()
@@ -166,18 +223,35 @@ func (e *Engine) Quality() float64 {
 	return q[0]
 }
 
-// step executes one data-parallel optimizer step: compute grains,
-// all-reduce, apply.
+// step executes one data-parallel optimizer step: every phase in
+// declared order — compute grains, all-reduce the phase group, apply —
+// so later phases observe earlier phases' parameter updates.
 func (e *Engine) step() float64 {
+	total, reporting := 0.0, 0
+	for p := range e.phases {
+		loss := e.runPhase(p)
+		if e.phases[p].Report {
+			total += loss
+			reporting++
+		}
+	}
+	return total / float64(reporting)
+}
+
+// runPhase executes one phase of the current step and returns the
+// phase's reduced loss.
+func (e *Engine) runPhase(p int) float64 {
 	w := e.backend.Workers()
+	plen := e.groupLen[p]
 	e.snapshotBuffers()
 
-	// Compute phase: every replica draws the step's macro-batch (the
-	// identical draw keeps dataset RNG streams in lockstep) and runs
+	// Compute: every replica draws the phase's batch (the identical
+	// draw keeps dataset RNG streams in lockstep) and runs
 	// forward/backward for its round-robin share of grains, recording
-	// each grain's gradient and buffer capture in isolation.
+	// each grain's phase-group gradient and buffer capture in
+	// isolation.
 	e.backend.Run(func(r int) {
-		grains := e.replicas[r].BeginStep()
+		grains := e.replicas[r].BeginPhase(p)
 		e.grainCount[r] = len(grains)
 		e.results[r] = e.results[r][:0]
 		k := 0
@@ -185,8 +259,8 @@ func (e *Engine) step() float64 {
 			e.restoreBuffers(r)
 			zeroGrads(e.params[r])
 			loss, n := grains[g]()
-			grad := scratchVec(&e.gradScratch[r], k, e.paramLen)
-			e.flattenGradsInto(r, grad)
+			grad := scratchVec(&e.gradScratch[r], k, e.paramLen)[:plen]
+			e.flattenGradsInto(r, p, grad)
 			buf := scratchVec(&e.bufScratch[r], k, e.bufLen)
 			e.flattenBuffersInto(r, buf)
 			e.results[r] = append(e.results[r], grainResult{
@@ -200,56 +274,58 @@ func (e *Engine) step() float64 {
 	total := e.grainCount[0]
 	for r := 1; r < w; r++ {
 		if e.grainCount[r] != total {
-			panic(fmt.Sprintf("dist: replica %d produced %d grains, replica 0 produced %d", r, e.grainCount[r], total))
+			panic(fmt.Sprintf("dist: phase %q: replica %d produced %d grains, replica 0 produced %d",
+				e.phases[p].Name, r, e.grainCount[r], total))
 		}
 	}
-	if len(e.order) != total {
-		e.order = make([]*grainResult, total)
-		e.vecs = make([][]float64, total)
-		e.weights = make([]float64, total)
-		e.scalars = make([][]float64, total)
-		for g := range e.scalars {
-			e.scalars[g] = make([]float64, 1)
+	sc := &e.scratch[p]
+	if len(sc.order) != total {
+		sc.order = make([]*grainResult, total)
+		sc.vecs = make([][]float64, total)
+		sc.weights = make([]float64, total)
+		sc.scalars = make([][]float64, total)
+		for g := range sc.scalars {
+			sc.scalars[g] = make([]float64, 1)
 		}
 	}
 	for r := range e.results {
 		for i := range e.results[r] {
 			gr := &e.results[r][i]
-			e.order[gr.grain] = gr
+			sc.order[gr.grain] = gr
 		}
 	}
 	samples := 0
-	for _, gr := range e.order {
+	for _, gr := range sc.order {
 		samples += gr.n
 	}
-	for g, gr := range e.order {
-		e.vecs[g] = gr.grad
-		e.scalars[g][0] = gr.loss
-		e.weights[g] = float64(gr.n) / float64(samples)
+	for g, gr := range sc.order {
+		sc.vecs[g] = gr.grad
+		sc.scalars[g][0] = gr.loss
+		sc.weights[g] = float64(gr.n) / float64(samples)
 	}
-	Reduce(e.reduction, e.vecs, e.weights, e.reduced)
+	Reduce(e.reduction, sc.vecs, sc.weights, e.reduced[:plen])
 	var lossOut [1]float64
-	Reduce(e.reduction, e.scalars, e.weights, lossOut[:])
-	stepLoss := lossOut[0]
+	Reduce(e.reduction, sc.scalars, sc.weights, lossOut[:])
+	phaseLoss := lossOut[0]
 	if e.bufLen > 0 {
-		for g, gr := range e.order {
-			e.vecs[g] = gr.buf
+		for g, gr := range sc.order {
+			sc.vecs[g] = gr.buf
 		}
-		Reduce(e.reduction, e.vecs, e.weights, e.reducedBuf)
+		Reduce(e.reduction, sc.vecs, sc.weights, e.reducedBuf)
 	}
 
-	// Apply phase: install the reduced gradient (and buffer state) on
-	// every replica and apply the identical optimizer step, keeping
-	// replicas bitwise in lockstep.
+	// Apply: install the reduced gradient (and buffer state) on every
+	// replica and apply the identical phase update, keeping replicas
+	// bitwise in lockstep.
 	e.backend.Run(func(r int) {
-		e.installGrads(r)
+		e.installGrads(r, p)
 		e.installBuffers(r)
-		e.replicas[r].ApplyStep()
+		e.replicas[r].ApplyPhase(p)
 	})
-	return stepLoss
+	return phaseLoss
 }
 
-// snapshotBuffers records the canonical buffer state at step start
+// snapshotBuffers records the canonical buffer state at phase start
 // (all replicas are identical; rank 0 is read).
 func (e *Engine) snapshotBuffers() {
 	off := 0
@@ -258,7 +334,7 @@ func (e *Engine) snapshotBuffers() {
 	}
 }
 
-// restoreBuffers resets rank r's buffers to the step-start snapshot so
+// restoreBuffers resets rank r's buffers to the phase-start snapshot so
 // every grain's capture starts from the same state regardless of which
 // grains this replica ran before it.
 func (e *Engine) restoreBuffers(r int) {
@@ -270,7 +346,8 @@ func (e *Engine) restoreBuffers(r int) {
 
 // scratchVec returns the k-th reusable vector of the pool, growing the
 // pool on first use. Each grain slot is written by exactly one rank per
-// step, so reuse is race-free.
+// phase, so reuse is race-free; vectors are sized for the largest
+// (full-parameter) group and sliced down by the caller.
 func scratchVec(pool *[][]float64, k, n int) []float64 {
 	for len(*pool) <= k {
 		*pool = append(*pool, make([]float64, n))
@@ -278,13 +355,13 @@ func scratchVec(pool *[][]float64, k, n int) []float64 {
 	return (*pool)[k]
 }
 
-// flattenGradsInto copies rank r's parameter gradients into the flat
+// flattenGradsInto copies rank r's phase-group gradients into the flat
 // vector (nil gradients contribute zeros; dst is fully overwritten).
-func (e *Engine) flattenGradsInto(r int, dst []float64) {
+func (e *Engine) flattenGradsInto(r, p int, dst []float64) {
 	off := 0
-	for _, p := range e.params[r] {
-		n := p.Value.Data.Size()
-		if g := p.Value.Grad; g != nil {
+	for _, pr := range e.groups[r][p] {
+		n := pr.Value.Data.Size()
+		if g := pr.Value.Grad; g != nil {
 			copy(dst[off:off+n], g.Data)
 		} else {
 			for j := off; j < off+n; j++ {
@@ -304,12 +381,12 @@ func (e *Engine) flattenBuffersInto(r int, dst []float64) {
 }
 
 // installGrads writes the all-reduced gradient into rank r's
-// parameters.
-func (e *Engine) installGrads(r int) {
+// phase-group parameters.
+func (e *Engine) installGrads(r, p int) {
 	off := 0
-	for _, p := range e.params[r] {
-		n := p.Value.Data.Size()
-		copy(p.Value.EnsureGrad().Data, e.reduced[off:off+n])
+	for _, pr := range e.groups[r][p] {
+		n := pr.Value.Data.Size()
+		copy(pr.Value.EnsureGrad().Data, e.reduced[off:off+n])
 		off += n
 	}
 }
@@ -324,7 +401,9 @@ func (e *Engine) installBuffers(r int) {
 }
 
 // zeroGrads clears every parameter gradient before a grain runs, so
-// the grain's backward pass records its contribution alone.
+// the grain's backward pass records its contribution alone — including
+// gradients outside the phase's reduce group, which would otherwise
+// leak into a later grain's capture of another phase.
 func zeroGrads(ps []*nn.Param) {
 	for _, p := range ps {
 		p.Value.ZeroGrad()

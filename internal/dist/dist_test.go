@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"testing"
@@ -10,10 +11,20 @@ import (
 	"aibench/internal/models"
 )
 
-// shardedIDs are the benchmarks with shardable train steps, covering
-// SGD and Adam, conv/batch-norm, grid-sampling, embedding, and
-// distillation-curriculum training.
-var shardedIDs = []string{"DC-AI-C1", "DC-AI-C10", "DC-AI-C15", "DC-AI-C16"}
+// shardedIDs are the benchmarks with shardable train steps — half the
+// registry, spanning the suite's model families: CNN (C1, C15),
+// embedding (C10, C16), GAN (C2 WGAN, C5 CycleGAN), recurrent/seq
+// (C6 speech), transformer (C3), NAS (C17), detection (C9 and its
+// MLPerf Mask R-CNN twin), video prediction (C11), reinforcement
+// learning (MLPerf-RL), and the MLPerf twins of C1/C3/C10. C2, C5,
+// C6, and C17 train multi-phase (critic/generator, TBPTT segments,
+// weights/controller).
+var shardedIDs = []string{
+	"DC-AI-C1", "DC-AI-C2", "DC-AI-C3", "DC-AI-C5", "DC-AI-C6",
+	"DC-AI-C9", "DC-AI-C10", "DC-AI-C11", "DC-AI-C15", "DC-AI-C16",
+	"DC-AI-C17", "MLPerf-IC", "MLPerf-ODH", "MLPerf-TN", "MLPerf-RC",
+	"MLPerf-RL",
+}
 
 func runSession(t *testing.T, id string, shards, epochs int, kind core.SessionKind) core.SessionResult {
 	t.Helper()
@@ -110,12 +121,12 @@ func TestTreeReductionDeterministic(t *testing.T) {
 // shardable train step runs the classic serial session (bitwise equal
 // to a Shards=0 run) and reports Shards=0.
 func TestNotShardableFallsBackToSerial(t *testing.T) {
-	serial := runSession(t, "DC-AI-C3", 0, 2, core.QuasiEntireSession)
-	sharded := runSession(t, "DC-AI-C3", 4, 2, core.QuasiEntireSession)
+	serial := runSession(t, "DC-AI-C4", 0, 2, core.QuasiEntireSession)
+	sharded := runSession(t, "DC-AI-C4", 4, 2, core.QuasiEntireSession)
 	if serial.Shards != 0 || sharded.Shards != 0 {
 		t.Fatalf("expected serial fallback (Shards=0), got %d and %d", serial.Shards, sharded.Shards)
 	}
-	sameResult(t, "DC-AI-C3", 4, sharded, serial)
+	sameResult(t, "DC-AI-C4", 4, sharded, serial)
 }
 
 // TestAllReduceUnderContention trains with more replica workers than
@@ -161,22 +172,27 @@ func findFactory(tb testing.TB, id string) models.Factory {
 	return nil
 }
 
-// BenchmarkShardedSession measures one data-parallel epoch of the
-// image-classification benchmark (the suite's flagship CNN) at 1, 2,
-// and 4 shard workers. Training is bitwise identical at every width,
-// so on a multi-core runner the higher widths show pure wall-clock
-// speedup.
+// BenchmarkShardedSession measures one data-parallel epoch at 1, 2,
+// and 4 shard workers for one benchmark per step shape: the flagship
+// CNN (single-phase), the WGAN (four phases per step), and ENAS
+// (five, with a single-grain controller phase). Training is bitwise
+// identical at every width, so on a multi-core runner the higher
+// widths show pure wall-clock speedup; CI's bench-track job converts
+// this benchmark's output into the per-push BENCH_<sha>.json
+// trajectory artifact.
 func BenchmarkShardedSession(b *testing.B) {
-	for _, shards := range []int{1, 2, 4} {
-		b.Run(map[int]string{1: "shards=1", 2: "shards=2", 4: "shards=4"}[shards], func(b *testing.B) {
-			eng, err := dist.New(findFactory(b, "DC-AI-C1"), 11, dist.NewLocal(shards))
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				eng.TrainEpoch()
-			}
-		})
+	for _, id := range []string{"DC-AI-C1", "DC-AI-C2", "DC-AI-C17"} {
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", id, shards), func(b *testing.B) {
+				eng, err := dist.New(findFactory(b, id), 11, dist.NewLocal(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.TrainEpoch()
+				}
+			})
+		}
 	}
 }

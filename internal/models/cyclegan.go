@@ -41,6 +41,10 @@ func (g *convGenerator) SetTraining(t bool) {
 	g.b2.SetTraining(t)
 }
 
+func (g *convGenerator) Buffers() []*tensor.Tensor {
+	return append(g.b1.Buffers(), g.b2.Buffers()...)
+}
+
 // patchDiscriminator is the 70×70-PatchGAN analogue: conv stages ending
 // in a per-patch real/fake logit map.
 type patchDiscriminator struct {
@@ -65,6 +69,8 @@ func (d *patchDiscriminator) Params() []*nn.Param {
 
 func (d *patchDiscriminator) SetTraining(t bool) { d.b1.SetTraining(t) }
 
+func (d *patchDiscriminator) Buffers() []*tensor.Tensor { return d.b1.Buffers() }
+
 // ImageToImage is DC-AI-C5: CycleGAN on Cityscapes, scaled to two conv
 // generators and two patch discriminators on the synthetic paired
 // domains; quality is per-pixel accuracy of the B→A translation against
@@ -76,6 +82,11 @@ type ImageToImage struct {
 	optD     optim.Optimizer
 	ds       *data.PairedDomains
 	batches  int
+	batch    int
+	// stepA/stepB hold the current sharded step's domain draws: the
+	// discriminator phase draws them, the generator phase reuses them
+	// (the serial loop trains both updates on one draw).
+	stepA, stepB *tensor.Tensor
 }
 
 // NewImageToImage constructs the scaled benchmark.
@@ -92,6 +103,7 @@ func NewImageToImage(seed int64) *ImageToImage {
 	b.optG = optim.NewAdam(Modules(b.gAB, b.gBA), 2e-3)
 	b.optD = optim.NewAdam(Modules(b.dA, b.dB), 2e-3)
 	b.batches = 6
+	b.batch = 6
 	return b
 }
 
@@ -138,6 +150,110 @@ func (b *ImageToImage) TrainEpoch() float64 {
 		total += gLoss.Item()
 	}
 	return total / float64(b.batches)
+}
+
+// cycleganPhases is the serial alternating scheme as ordered phases:
+// one discriminator update, then one generator update whose loss is
+// the step's reported loss (matching TrainEpoch's accounting).
+var cycleganPhases = []PhaseSpec{
+	{Name: "discriminator"}, {Name: "generator", Report: true},
+}
+
+// BeginEpoch implements PhasedTrainer (the serial loop never toggles
+// training mode either; batch-norm stays in training statistics).
+func (b *ImageToImage) BeginEpoch() {}
+
+// StepsPerEpoch implements PhasedTrainer.
+func (b *ImageToImage) StepsPerEpoch() int { return b.batches }
+
+// Phases implements PhasedTrainer.
+func (b *ImageToImage) Phases() []PhaseSpec { return cycleganPhases }
+
+// PhaseParams implements PhasedTrainer: the discriminator phase
+// reduces only the two patch discriminators, the generator phase only
+// the two generators — the adversarial term backpropagates through the
+// discriminators, and the per-phase group discards those gradients
+// exactly as the serial optG step does.
+func (b *ImageToImage) PhaseParams(phase int) []*nn.Param {
+	if phase == 0 {
+		return append(b.dA.Params(), b.dB.Params()...)
+	}
+	return append(b.gAB.Params(), b.gBA.Params()...)
+}
+
+// BeginPhase implements PhasedTrainer: the discriminator phase draws
+// the step's paired macro-batch (stored for the generator phase to
+// reuse) and scores real-vs-translated slices; the generator phase
+// computes the adversarial plus cycle-consistency objective on the
+// same slices.
+func (b *ImageToImage) BeginPhase(phase int) []Grain {
+	if phase == 0 {
+		b.stepA, b.stepB, _ = b.ds.Pair(b.batch)
+	}
+	bounds := GrainBounds(b.batch, shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		if phase == 0 {
+			gs[g] = func() (float64, int) {
+				a := b.stepA.SliceRows(lo, hi)
+				bd := b.stepB.SliceRows(lo, hi)
+				av, bv := autograd.Const(a), autograd.Const(bd)
+				fakeB := b.gAB.Forward(av)
+				fakeA := b.gBA.Forward(bv)
+				dRealB := b.dB.Forward(bv)
+				dFakeB := b.dB.Forward(autograd.Const(fakeB.Data))
+				dRealA := b.dA.Forward(av)
+				dFakeA := b.dA.Forward(autograd.Const(fakeA.Data))
+				ones := tensor.Ones(dRealB.Shape()...)
+				zeros := tensor.New(dRealB.Shape()...)
+				dLoss := autograd.Add(
+					autograd.Add(autograd.BCEWithLogits(dRealB, ones), autograd.BCEWithLogits(dFakeB, zeros)),
+					autograd.Add(autograd.BCEWithLogits(dRealA, ones), autograd.BCEWithLogits(dFakeA, zeros)))
+				dLoss.Backward()
+				return dLoss.Item(), hi - lo
+			}
+			continue
+		}
+		gs[g] = func() (float64, int) {
+			a := b.stepA.SliceRows(lo, hi)
+			bd := b.stepB.SliceRows(lo, hi)
+			av, bv := autograd.Const(a), autograd.Const(bd)
+			fakeB := b.gAB.Forward(av)
+			fakeA := b.gBA.Forward(bv)
+			recA := b.gBA.Forward(fakeB)
+			recB := b.gAB.Forward(fakeA)
+			dOutB := b.dB.Forward(fakeB)
+			ones := tensor.Ones(dOutB.Shape()...)
+			gAdv := autograd.Add(
+				autograd.BCEWithLogits(dOutB, ones),
+				autograd.BCEWithLogits(b.dA.Forward(fakeA), ones))
+			cycle := autograd.Add(autograd.L1Loss(recA, a), autograd.L1Loss(recB, bd))
+			gLoss := autograd.Add(gAdv, autograd.Scale(cycle, 10))
+			gLoss.Backward()
+			return gLoss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
+// ApplyPhase implements PhasedTrainer.
+func (b *ImageToImage) ApplyPhase(phase int) {
+	if phase == 0 {
+		b.optD.Step()
+		return
+	}
+	b.optG.Step()
+}
+
+// Buffers implements Buffered: the batch-norm running statistics of
+// both generators and both discriminators (generator forwards inside
+// the discriminator phase update generator statistics too, exactly as
+// the serial loop does).
+func (b *ImageToImage) Buffers() []*tensor.Tensor {
+	bs := append(b.gAB.Buffers(), b.gBA.Buffers()...)
+	bs = append(bs, b.dA.Buffers()...)
+	return append(bs, b.dB.Buffers()...)
 }
 
 // Quality implements Benchmark: per-pixel accuracy — translate B→A, then

@@ -40,6 +40,10 @@ func (d *detectorBackbone) SetTraining(t bool) {
 	d.b2.SetTraining(t)
 }
 
+func (d *detectorBackbone) Buffers() []*tensor.Tensor {
+	return append(d.b1.Buffers(), d.b2.Buffers()...)
+}
+
 // rpn predicts, per feature cell, an objectness logit and a box
 // parametrized as (sigmoid tx, ty: center within cell; sigmoid tw, th:
 // size as fraction of image).
@@ -213,76 +217,137 @@ func (b *ObjectDetection) Name() string { return b.name }
 // TrainEpoch implements Benchmark: joint RPN + head loss with a decayed
 // learning rate (the Faster R-CNN schedule shape).
 func (b *ObjectDetection) TrainEpoch() float64 {
-	b.backbone.SetTraining(true)
-	b.epoch++
-	b.opt.SetLR(2e-3 * math.Pow(0.985, float64(b.epoch)))
+	b.BeginEpoch()
 	total := 0.0
 	for it := 0; it < b.batches; it++ {
 		x, boxes := b.ds.Scene(8)
+		negs := b.drawNegatives(len(boxes))
 		b.opt.ZeroGrad()
-		feat := b.backbone.Forward(autograd.Const(x))
-		pred := b.rpnHead.Forward(feat) // [N, 5, 4, 4]
-		n := x.Dim(0)
-		cells := b.grid * b.grid
-
-		// Assemble RPN targets.
-		objT := tensor.New(n, 1, b.grid, b.grid)
-		boxT := tensor.New(n, 4, b.grid, b.grid)
-		boxMask := tensor.New(n, 4, b.grid, b.grid)
-		roiLosses := []*autograd.Value{}
-		for i := 0; i < n; i++ {
-			obj, tx, ty, tw, th, _ := cellTargets(boxes[i], b.imgSize, b.grid)
-			for c := 0; c < cells; c++ {
-				gy, gx := c/b.grid, c%b.grid
-				objT.Set(obj[c], i, 0, gy, gx)
-				if obj[c] > 0 {
-					// Targets in [0,1] matching the sigmoid-activated
-					// box channels the decoder applies.
-					boxT.Set(tx[c], i, 0, gy, gx)
-					boxT.Set(ty[c], i, 1, gy, gx)
-					boxT.Set(tw[c], i, 2, gy, gx)
-					boxT.Set(th[c], i, 3, gy, gx)
-					for ch := 0; ch < 4; ch++ {
-						boxMask.Set(1, i, ch, gy, gx)
-					}
-				}
-			}
-			// Head training: ground-truth boxes as positive RoIs plus one
-			// random negative RoI per image.
-			img := autograd.Const(x)
-			for _, gt := range boxes[i] {
-				cropv := b.roiFeatures(feat, img, i, gt)
-				logits := b.clsHead.Forward(cropv)
-				roiLosses = append(roiLosses, autograd.SoftmaxCrossEntropy(logits, []int{gt.Class}))
-				if b.maskHead != nil {
-					roiLosses = append(roiLosses, b.maskLoss(cropv, gt))
-				}
-			}
-			neg := data.Box{X: b.rng.Intn(12), Y: b.rng.Intn(12), W: 4, H: 4}
-			if isBackground(neg, boxes[i]) {
-				cropv := b.roiFeatures(feat, img, i, neg)
-				logits := b.clsHead.Forward(cropv)
-				roiLosses = append(roiLosses, autograd.SoftmaxCrossEntropy(logits, []int{b.classes}))
-			}
-		}
-
-		objPred := autograd.SliceCols(autograd.Reshape(pred, n, 5*cells), 0, cells)
-		objLoss := autograd.BCEWithLogits(objPred, objT.Reshape(n, cells))
-		boxPred := autograd.Sigmoid(autograd.SliceCols(autograd.Reshape(pred, n, 5*cells), cells, 5*cells))
-		masked := autograd.Mul(boxPred, autograd.Const(boxMask.Reshape(n, 4*cells)))
-		boxLoss := autograd.Scale(
-			autograd.MSELoss(masked, tensor.Mul(boxT.Reshape(n, 4*cells), boxMask.Reshape(n, 4*cells))), 8)
-
-		loss := autograd.Add(objLoss, boxLoss)
-		for _, rl := range roiLosses {
-			loss = autograd.Add(loss, autograd.Scale(rl, 1/float64(len(roiLosses))))
-		}
+		loss := b.rangeLoss(x, boxes, negs, 0, x.Dim(0))
 		loss.Backward()
 		b.opt.Step()
 		total += loss.Item()
 	}
 	return total / float64(b.batches)
 }
+
+// drawNegatives draws one candidate negative RoI per image, in image
+// order — the rng stream is identical whether the batch then trains
+// serially or split into grains.
+func (b *ObjectDetection) drawNegatives(n int) []data.Box {
+	negs := make([]data.Box, n)
+	for i := range negs {
+		negs[i] = data.Box{X: b.rng.Intn(12), Y: b.rng.Intn(12), W: 4, H: 4}
+	}
+	return negs
+}
+
+// rangeLoss builds the joint RPN + head loss over scene images
+// [lo,hi): backbone + RPN forward on the slice, per-cell objectness
+// and box targets, and RoI-head losses for every ground-truth box plus
+// the image's pre-drawn candidate negative (used only when it is
+// actually background).
+func (b *ObjectDetection) rangeLoss(x *tensor.Tensor, boxes [][]data.Box, negs []data.Box, lo, hi int) *autograd.Value {
+	xs := x
+	if lo != 0 || hi != x.Dim(0) {
+		xs = x.SliceRows(lo, hi)
+	}
+	feat := b.backbone.Forward(autograd.Const(xs))
+	pred := b.rpnHead.Forward(feat) // [n, 5, 4, 4]
+	n := hi - lo
+	cells := b.grid * b.grid
+
+	// Assemble RPN targets.
+	objT := tensor.New(n, 1, b.grid, b.grid)
+	boxT := tensor.New(n, 4, b.grid, b.grid)
+	boxMask := tensor.New(n, 4, b.grid, b.grid)
+	roiLosses := []*autograd.Value{}
+	for i := 0; i < n; i++ {
+		obj, tx, ty, tw, th, _ := cellTargets(boxes[lo+i], b.imgSize, b.grid)
+		for c := 0; c < cells; c++ {
+			gy, gx := c/b.grid, c%b.grid
+			objT.Set(obj[c], i, 0, gy, gx)
+			if obj[c] > 0 {
+				// Targets in [0,1] matching the sigmoid-activated
+				// box channels the decoder applies.
+				boxT.Set(tx[c], i, 0, gy, gx)
+				boxT.Set(ty[c], i, 1, gy, gx)
+				boxT.Set(tw[c], i, 2, gy, gx)
+				boxT.Set(th[c], i, 3, gy, gx)
+				for ch := 0; ch < 4; ch++ {
+					boxMask.Set(1, i, ch, gy, gx)
+				}
+			}
+		}
+		// Head training: ground-truth boxes as positive RoIs plus one
+		// random negative RoI per image.
+		img := autograd.Const(xs)
+		for _, gt := range boxes[lo+i] {
+			cropv := b.roiFeatures(feat, img, i, gt)
+			logits := b.clsHead.Forward(cropv)
+			roiLosses = append(roiLosses, autograd.SoftmaxCrossEntropy(logits, []int{gt.Class}))
+			if b.maskHead != nil {
+				roiLosses = append(roiLosses, b.maskLoss(cropv, gt))
+			}
+		}
+		if neg := negs[lo+i]; isBackground(neg, boxes[lo+i]) {
+			cropv := b.roiFeatures(feat, img, i, neg)
+			logits := b.clsHead.Forward(cropv)
+			roiLosses = append(roiLosses, autograd.SoftmaxCrossEntropy(logits, []int{b.classes}))
+		}
+	}
+
+	objPred := autograd.SliceCols(autograd.Reshape(pred, n, 5*cells), 0, cells)
+	objLoss := autograd.BCEWithLogits(objPred, objT.Reshape(n, cells))
+	boxPred := autograd.Sigmoid(autograd.SliceCols(autograd.Reshape(pred, n, 5*cells), cells, 5*cells))
+	masked := autograd.Mul(boxPred, autograd.Const(boxMask.Reshape(n, 4*cells)))
+	boxLoss := autograd.Scale(
+		autograd.MSELoss(masked, tensor.Mul(boxT.Reshape(n, 4*cells), boxMask.Reshape(n, 4*cells))), 8)
+
+	loss := autograd.Add(objLoss, boxLoss)
+	for _, rl := range roiLosses {
+		loss = autograd.Add(loss, autograd.Scale(rl, 1/float64(len(roiLosses))))
+	}
+	return loss
+}
+
+// BeginEpoch implements ShardedTrainer: training mode plus the decayed
+// learning rate (every replica advances the schedule identically).
+func (b *ObjectDetection) BeginEpoch() {
+	b.backbone.SetTraining(true)
+	b.epoch++
+	b.opt.SetLR(2e-3 * math.Pow(0.985, float64(b.epoch)))
+}
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *ObjectDetection) StepsPerEpoch() int { return b.batches }
+
+// ApplyStep implements ShardedTrainer.
+func (b *ObjectDetection) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: draw the scene macro-batch and
+// the per-image negative RoIs, then split the batch into per-grain
+// image ranges (batch-norm statistics are computed per grain; the
+// engine reduces and syncs the running stats through Buffers).
+func (b *ObjectDetection) BeginStep() []Grain {
+	x, boxes := b.ds.Scene(8)
+	negs := b.drawNegatives(len(boxes))
+	bounds := GrainBounds(x.Dim(0), shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			loss := b.rangeLoss(x, boxes, negs, lo, hi)
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
+// Buffers implements Buffered: the backbone's batch-norm running
+// statistics.
+func (b *ObjectDetection) Buffers() []*tensor.Tensor { return b.backbone.Buffers() }
 
 // roiFeatures builds the head input: an RoIAligned raw-image crop.
 func (b *ObjectDetection) roiFeatures(feat, img *autograd.Value, sample int, box data.Box) *autograd.Value {

@@ -24,14 +24,14 @@ import (
 // dataset, so numbers are consistent across suites.
 func NewMLPerfImageClassification(seed int64) Benchmark {
 	b := NewImageClassification(seed)
-	return renamed{b, "MLPerf Image Classification", b.Spec()}
+	return renamedSharded{b, "MLPerf Image Classification", b.Spec()}
 }
 
 // NewMLPerfRecommendation returns the MLPerf recommendation benchmark
 // (same NCF model and MovieLens dataset as DC-AI-C10).
 func NewMLPerfRecommendation(seed int64) Benchmark {
 	b := NewRecommendation(seed)
-	return renamed{b, "MLPerf Recommendation", b.Spec()}
+	return renamedSharded{b, "MLPerf Recommendation", b.Spec()}
 }
 
 // renamed wraps a Benchmark with a different display name/spec.
@@ -43,6 +43,28 @@ type renamed struct {
 
 func (r renamed) Name() string         { return r.name }
 func (r renamed) Spec() workload.Model { return r.spec }
+
+// renamedSharded is renamed for benchmarks whose underlying model has
+// a sharded train step: the wrapper keeps the ShardedTrainer contract
+// visible (the MLPerf twin of a shardable AIBench model trains
+// data-parallel too) and forwards the buffer sync of Buffered models.
+type renamedSharded struct {
+	ShardedTrainer
+	name string
+	spec workload.Model
+}
+
+func (r renamedSharded) Name() string         { return r.name }
+func (r renamedSharded) Spec() workload.Model { return r.spec }
+
+// Buffers implements Buffered by forwarding to the wrapped model (an
+// empty set when the model carries no non-gradient state).
+func (r renamedSharded) Buffers() []*tensor.Tensor {
+	if bt, ok := r.ShardedTrainer.(Buffered); ok {
+		return bt.Buffers()
+	}
+	return nil
+}
 
 // NewMaskRCNN returns the MLPerf heavy-weight object detection benchmark
 // (Mask R-CNN): the two-stage detector with an additional mask head.
@@ -429,5 +451,5 @@ func NewMLPerfTransformer(seed int64) Benchmark {
 	b := NewTextToText(seed)
 	spec := b.Spec()
 	spec.Name = "MLPerf Translation nonrecurrent (Transformer/WMT)"
-	return renamed{b, "MLPerf Translation (nonrecurrent)", spec}
+	return renamedSharded{b, "MLPerf Translation (nonrecurrent)", spec}
 }

@@ -87,6 +87,41 @@ func (c *nasChild) nll(arch architecture, stream []int) *autograd.Value {
 	return autograd.Scale(sum, 1/float64(len(losses)))
 }
 
+// hiddenStates runs the child forward (no backward) over the stream,
+// returning the recurrent state entering each prediction position:
+// states[t] is the hidden state consumed together with token t
+// (states[0] is the zero state).
+func (c *nasChild) hiddenStates(arch architecture, stream []int) []*tensor.Tensor {
+	preds := len(stream) - 1
+	states := make([]*tensor.Tensor, preds)
+	h := autograd.Const(tensor.New(1, c.hidden))
+	for t := 0; t < preds; t++ {
+		states[t] = h.Data
+		x := c.emb.Lookup([]int{stream[t]})
+		h = c.step(arch, x, h)
+	}
+	return states
+}
+
+// segmentNLL computes the mean next-token loss of prediction positions
+// [lo,hi) starting from the given entry state — one truncated-BPTT
+// segment (gradients do not flow across segment boundaries).
+func (c *nasChild) segmentNLL(arch architecture, stream []int, lo, hi int, entry *tensor.Tensor) *autograd.Value {
+	h := autograd.Const(entry)
+	var losses []*autograd.Value
+	for t := lo; t < hi; t++ {
+		x := c.emb.Lookup([]int{stream[t]})
+		h = c.step(arch, x, h)
+		logits := c.proj.Forward(h)
+		losses = append(losses, autograd.SoftmaxCrossEntropy(logits, []int{stream[t+1]}))
+	}
+	sum := losses[0]
+	for _, l := range losses[1:] {
+		sum = autograd.Add(sum, l)
+	}
+	return autograd.Scale(sum, 1/float64(len(losses)))
+}
+
 // nasController is the REINFORCE policy over architectures: an LSTM that
 // emits one categorical decision per step.
 type nasController struct {
@@ -158,6 +193,16 @@ type NAS struct {
 	baseline   float64
 	vocab      int
 	seqLen     int
+
+	// Sharded-step state of the current phase: the sampled child
+	// architecture and token stream with its precomputed segment entry
+	// states (weights phases), or the sampled architecture's −log π
+	// graph and REINFORCE advantage (controller phases).
+	stepArch   architecture
+	stepStream []int
+	stepStates []*tensor.Tensor
+	stepNLP    *autograd.Value
+	stepAdv    float64
 }
 
 // NewNAS constructs the scaled benchmark.
@@ -214,6 +259,91 @@ func (b *NAS) TrainEpoch() float64 {
 		b.optCtrl.Step()
 	}
 	return total / 6
+}
+
+// nasSegments is the truncated-BPTT segment count a weights phase
+// splits the child's token stream into — the grain decomposition of
+// the shared-weight update.
+const nasSegments = 4
+
+// nasPhases is the ENAS alternating scheme as ordered phases: three
+// shared-weight child updates (each under a freshly sampled
+// architecture, reporting into the step loss exactly as TrainEpoch
+// averages child losses only), then two controller REINFORCE updates.
+// Two steps per epoch reproduce the serial 6-child/4-controller split.
+var nasPhases = []PhaseSpec{
+	{Name: "weights-1", Report: true}, {Name: "weights-2", Report: true}, {Name: "weights-3", Report: true},
+	{Name: "controller-1"}, {Name: "controller-2"},
+}
+
+// BeginEpoch implements PhasedTrainer (no per-epoch state).
+func (b *NAS) BeginEpoch() {}
+
+// StepsPerEpoch implements PhasedTrainer.
+func (b *NAS) StepsPerEpoch() int { return 2 }
+
+// Phases implements PhasedTrainer.
+func (b *NAS) Phases() []PhaseSpec { return nasPhases }
+
+// PhaseParams implements PhasedTrainer: weights phases reduce the
+// shared child parameters, controller phases the policy parameters —
+// disjoint groups, so the two optimizers never see each other's
+// gradients.
+func (b *NAS) PhaseParams(phase int) []*nn.Param {
+	if phase < 3 {
+		return b.child.Params()
+	}
+	return b.controller.Params()
+}
+
+// BeginPhase implements PhasedTrainer. A weights phase samples an
+// architecture from the controller, draws a token stream, and
+// precomputes the truncated-BPTT segment entry states with a forward
+// pass (identical on every replica); its grains are the segments,
+// weighted by prediction count. A controller phase samples an
+// architecture, scores it with the child's validation perplexity,
+// updates the reward baseline, and exposes a single REINFORCE grain.
+func (b *NAS) BeginPhase(phase int) []Grain {
+	if phase < 3 {
+		b.stepArch, _ = b.controller.sample(b.rng)
+		b.stepStream = b.lang.Stream(b.seqLen)
+		b.stepStates = b.child.hiddenStates(b.stepArch, b.stepStream)
+		bounds := GrainBounds(len(b.stepStream)-1, nasSegments)
+		gs := make([]Grain, len(bounds))
+		for g, bd := range bounds {
+			lo, hi := bd[0], bd[1]
+			gs[g] = func() (float64, int) {
+				loss := b.child.segmentNLL(b.stepArch, b.stepStream, lo, hi, b.stepStates[lo])
+				loss.Backward()
+				return loss.Item(), hi - lo
+			}
+		}
+		return gs
+	}
+	arch, nlp := b.controller.sample(b.rng)
+	val := b.lang.Stream(b.seqLen)
+	ppl := math.Exp(b.child.nll(arch, val).Item())
+	reward := 1 / ppl
+	if b.baseline == 0 {
+		b.baseline = reward
+	}
+	b.stepNLP = nlp
+	b.stepAdv = reward - b.baseline
+	b.baseline = 0.9*b.baseline + 0.1*reward
+	return []Grain{func() (float64, int) {
+		loss := autograd.Scale(b.stepNLP, b.stepAdv)
+		loss.Backward()
+		return loss.Item(), 1
+	}}
+}
+
+// ApplyPhase implements PhasedTrainer.
+func (b *NAS) ApplyPhase(phase int) {
+	if phase < 3 {
+		b.optChild.Step()
+		return
+	}
+	b.optCtrl.Step()
 }
 
 // BestArchitecture evaluates N controller samples and returns the one

@@ -147,25 +147,71 @@ func (b *ReinforcementLearning) TrainEpoch() float64 {
 	for it := 0; it < b.batches; it++ {
 		steps := b.episode(12)
 		b.opt.ZeroGrad()
-		var losses []*autograd.Value
-		for _, s := range steps {
-			logits, value := b.forward(s.state)
-			adv := s.ret - value.Item()
-			pg := autograd.Scale(autograd.SoftmaxCrossEntropy(logits, []int{s.action}), adv)
-			vl := autograd.MSELoss(value, tensor.FromSlice([]float64{s.ret}, 1, 1))
-			losses = append(losses, autograd.Add(pg, autograd.Scale(vl, 0.5)))
-		}
-		sum := losses[0]
-		for _, l := range losses[1:] {
-			sum = autograd.Add(sum, l)
-		}
-		loss := autograd.Scale(sum, 1/float64(len(losses)))
+		loss := b.episodeLoss(steps)
 		loss.Backward()
 		b.opt.Step()
 		total += loss.Item()
 	}
 	return total / float64(b.batches)
 }
+
+// episodeLoss builds one episode's REINFORCE-with-baseline loss (the
+// serial per-episode objective).
+func (b *ReinforcementLearning) episodeLoss(steps []rlStep) *autograd.Value {
+	var losses []*autograd.Value
+	for _, s := range steps {
+		logits, value := b.forward(s.state)
+		adv := s.ret - value.Item()
+		pg := autograd.Scale(autograd.SoftmaxCrossEntropy(logits, []int{s.action}), adv)
+		vl := autograd.MSELoss(value, tensor.FromSlice([]float64{s.ret}, 1, 1))
+		losses = append(losses, autograd.Add(pg, autograd.Scale(vl, 0.5)))
+	}
+	sum := losses[0]
+	for _, l := range losses[1:] {
+		sum = autograd.Add(sum, l)
+	}
+	return autograd.Scale(sum, 1/float64(len(losses)))
+}
+
+// rlEpisodesPerStep is the sharded macro-step's episode count: two
+// steps of two episode-grains reproduce the serial epoch's four
+// episodes.
+const rlEpisodesPerStep = 2
+
+// BeginEpoch implements ShardedTrainer.
+func (b *ReinforcementLearning) BeginEpoch() { b.policy.SetTraining(true) }
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *ReinforcementLearning) StepsPerEpoch() int { return b.batches / rlEpisodesPerStep }
+
+// ApplyStep implements ShardedTrainer.
+func (b *ReinforcementLearning) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: every replica self-plays the
+// step's episodes (identical policy weights and rng keep the
+// trajectories in lockstep; the generation forwards' batch-norm
+// drift is discarded by the engine's phase-start buffer snapshot),
+// then each episode becomes one grain weighted by its step count.
+func (b *ReinforcementLearning) BeginStep() []Grain {
+	episodes := make([][]rlStep, rlEpisodesPerStep)
+	for e := range episodes {
+		episodes[e] = b.episode(12)
+	}
+	gs := make([]Grain, len(episodes))
+	for g := range gs {
+		steps := episodes[g]
+		gs[g] = func() (float64, int) {
+			loss := b.episodeLoss(steps)
+			loss.Backward()
+			return loss.Item(), len(steps)
+		}
+	}
+	return gs
+}
+
+// Buffers implements Buffered: the policy trunk's batch-norm running
+// statistics.
+func (b *ReinforcementLearning) Buffers() []*tensor.Tensor { return b.policy.Buffers() }
 
 // Quality implements Benchmark: agreement of the greedy policy with the
 // reference (optimal) policy over random states — the analogue of

@@ -1,6 +1,9 @@
 package models
 
-import "aibench/internal/tensor"
+import (
+	"aibench/internal/nn"
+	"aibench/internal/tensor"
+)
 
 // shardGrains is the fixed number of micro-shards ("grains") every
 // sharded benchmark splits each optimizer step's macro-batch into. The
@@ -46,6 +49,60 @@ type ShardedTrainer interface {
 	ApplyStep()
 }
 
+// PhaseSpec names one phase of a multi-phase optimizer step.
+type PhaseSpec struct {
+	Name string
+	// Report marks the phase's reduced loss as part of the step's
+	// reported loss (the mean over reporting phases). At least one
+	// phase of every step must report.
+	Report bool
+}
+
+// PhasedTrainer is the per-phase grain contract: an optimizer step
+// consists of a fixed, ordered list of named phases — a WGAN's
+// critic-then-generator updates, ENAS's weights-then-controller steps,
+// truncated-BPTT segments of a recurrent model — each with its own
+// grain decomposition, gradient all-reduce over the phase's parameter
+// group, and buffer sync. internal/dist executes the phases of every
+// step in declared order on every replica: phase p's grains are
+// computed, all-reduced, installed, and applied before phase p+1
+// begins, so later phases observe the parameter updates of earlier
+// ones and replicas stay in bitwise lockstep. The single-phase
+// ShardedTrainer contract is the degenerate one-phase case (the engine
+// adapts it automatically); implement PhasedTrainer only when a step
+// genuinely decomposes into ordered sub-updates.
+type PhasedTrainer interface {
+	Benchmark
+	// BeginEpoch advances per-epoch state (training mode, curriculum
+	// phase, LR schedules). Every replica calls it once per epoch.
+	BeginEpoch()
+	// StepsPerEpoch returns the number of optimizer steps in one epoch.
+	StepsPerEpoch() int
+	// Phases returns the step's fixed phase list. The list must not
+	// depend on training progress: every step of every epoch runs the
+	// same phases in the same order.
+	Phases() []PhaseSpec
+	// BeginPhase draws the phase's batch from the synthetic dataset
+	// stream and partitions it into grains. Every replica calls
+	// BeginPhase for every phase of every step — the identical draws
+	// keep all replicas' RNG streams in lockstep — and receives the
+	// same grain decomposition regardless of the worker count. A phase
+	// may reuse a batch drawn by an earlier phase of the same step
+	// (the CycleGAN discriminator/generator pair trains on one draw).
+	BeginPhase(phase int) []Grain
+	// PhaseParams returns the phase's reduce group: the parameters its
+	// grains produce gradients for and its ApplyPhase updates. nil
+	// means all of Module().Params(). Gradients on parameters outside
+	// the group are neither reduced nor installed, so phases with
+	// disjoint groups (generator vs critic) never mix gradients.
+	PhaseParams(phase int) []*nn.Param
+	// ApplyPhase applies the phase's optimizer update from the
+	// gradients currently installed on the phase's parameter group
+	// (the engine installs the all-reduced gradients before calling
+	// it), plus any deterministic post-step (weight clipping).
+	ApplyPhase(phase int)
+}
+
 // Buffered is implemented by sharded benchmarks carrying non-gradient
 // training state (batch-norm running statistics). The engine snapshots
 // buffers at each step's start, restores the snapshot before every
@@ -53,6 +110,32 @@ type ShardedTrainer interface {
 // fixed-order weighted mean of the per-grain captures to all replicas.
 type Buffered interface {
 	Buffers() []*tensor.Tensor
+}
+
+// onePhase adapts the single-phase ShardedTrainer contract to the
+// phase contract: one reporting phase spanning the whole step, reduced
+// over the full parameter vector.
+type onePhase struct{ ShardedTrainer }
+
+func (onePhase) Phases() []PhaseSpec         { return []PhaseSpec{{Name: "step", Report: true}} }
+func (p onePhase) BeginPhase(int) []Grain    { return p.BeginStep() }
+func (onePhase) PhaseParams(int) []*nn.Param { return nil }
+func (p onePhase) ApplyPhase(int)            { p.ApplyStep() }
+
+// AsPhased returns a benchmark's phase view: PhasedTrainer
+// implementations are returned unchanged, plain ShardedTrainer
+// implementations are wrapped as the degenerate one-phase step, and
+// benchmarks without a sharded train step return nil. Callers that
+// need the concrete workload (Buffered probes, metadata) must keep b
+// itself: the one-phase wrapper hides interfaces beyond PhasedTrainer.
+func AsPhased(b Benchmark) PhasedTrainer {
+	switch t := b.(type) {
+	case PhasedTrainer:
+		return t
+	case ShardedTrainer:
+		return onePhase{t}
+	}
+	return nil
 }
 
 // GrainBounds splits n samples into at most grains contiguous

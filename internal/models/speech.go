@@ -8,6 +8,7 @@ import (
 	"aibench/internal/metrics"
 	"aibench/internal/nn"
 	"aibench/internal/optim"
+	"aibench/internal/tensor"
 	"aibench/internal/workload"
 )
 
@@ -24,6 +25,15 @@ type SpeechRecognition struct {
 	ds      *data.Speech
 	vocab   int
 	batches int
+
+	// Sharded-step state: the utterances of the current macro-step,
+	// their framewise alignments, the segment split point per
+	// utterance, and the GRU entry state of the current TBPTT segment
+	// (recomputed with post-segment-1 weights before segment 2).
+	stepFrames []*tensor.Tensor
+	stepAlign  [][]int
+	stepMid    []int
+	stepState  []*tensor.Tensor
 }
 
 // NewSpeechRecognition constructs the scaled benchmark.
@@ -75,6 +85,104 @@ func (b *SpeechRecognition) TrainEpoch() float64 {
 	}
 	return total / float64(b.batches)
 }
+
+// speechUtterPerStep is the sharded macro-step's utterance count: each
+// optimizer step trains a macro-batch of utterances (one grain each)
+// instead of the serial loop's single utterance per step.
+const speechUtterPerStep = 4
+
+// speechPhases splits every utterance's recurrence into two
+// truncated-BPTT segments, each its own ordered phase: segment 1 is
+// computed, all-reduced, and applied before segment 2 begins, and
+// segment 2's GRU entry state is recomputed under the updated weights
+// (the classic per-segment-update TBPTT scheme). Both segments report
+// into the step loss.
+var speechPhases = []PhaseSpec{
+	{Name: "tbptt-1", Report: true}, {Name: "tbptt-2", Report: true},
+}
+
+// segmentForward runs the acoustic model over frame rows [lo,hi) from
+// the given GRU state, returning the segment's per-frame logits.
+func (b *SpeechRecognition) segmentForward(frames *tensor.Tensor, lo, hi int, state *autograd.Value) *autograd.Value {
+	h := autograd.ReLU(b.front.Forward(autograd.Const(frames.SliceRows(lo, hi))))
+	outs := make([]*autograd.Value, hi-lo)
+	for i := range outs {
+		state = b.gru.Step(autograd.SliceRows(h, i, i+1), state)
+		outs[i] = state
+	}
+	return b.proj.Forward(autograd.Concat(outs...))
+}
+
+// segmentState runs only the recurrence over frame rows [lo,hi) and
+// returns the final GRU state — the phase-2 entry-state recompute
+// needs the state alone, so the output projection is skipped.
+func (b *SpeechRecognition) segmentState(frames *tensor.Tensor, lo, hi int, state *autograd.Value) *autograd.Value {
+	h := autograd.ReLU(b.front.Forward(autograd.Const(frames.SliceRows(lo, hi))))
+	for i := 0; i < hi-lo; i++ {
+		state = b.gru.Step(autograd.SliceRows(h, i, i+1), state)
+	}
+	return state
+}
+
+// BeginEpoch implements PhasedTrainer (no per-epoch state).
+func (b *SpeechRecognition) BeginEpoch() {}
+
+// StepsPerEpoch implements PhasedTrainer: 3 macro-steps of
+// speechUtterPerStep utterances each, close to the serial loop's 10
+// utterances per epoch.
+func (b *SpeechRecognition) StepsPerEpoch() int { return 3 }
+
+// Phases implements PhasedTrainer.
+func (b *SpeechRecognition) Phases() []PhaseSpec { return speechPhases }
+
+// PhaseParams implements PhasedTrainer: both segments update the full
+// acoustic model.
+func (b *SpeechRecognition) PhaseParams(int) []*nn.Param { return nil }
+
+// BeginPhase implements PhasedTrainer: the first segment phase draws
+// the macro-batch of utterances and trains frames [0, mid) of each
+// from a zero state; the second recomputes each utterance's midpoint
+// state under the post-segment-1 weights (forward only, identically on
+// every replica) and trains frames [mid, T). One grain per utterance,
+// weighted by its segment's frame count.
+func (b *SpeechRecognition) BeginPhase(phase int) []Grain {
+	if phase == 0 {
+		b.stepFrames = b.stepFrames[:0]
+		b.stepAlign = b.stepAlign[:0]
+		b.stepMid = b.stepMid[:0]
+		b.stepState = make([]*tensor.Tensor, speechUtterPerStep)
+		for u := 0; u < speechUtterPerStep; u++ {
+			frames, _, align := b.ds.Utterance(4)
+			b.stepFrames = append(b.stepFrames, frames)
+			b.stepAlign = append(b.stepAlign, align)
+			b.stepMid = append(b.stepMid, frames.Dim(0)/2)
+		}
+	} else {
+		for u := range b.stepFrames {
+			b.stepState[u] = b.segmentState(b.stepFrames[u], 0, b.stepMid[u], b.gru.InitState(1)).Data
+		}
+	}
+	gs := make([]Grain, len(b.stepFrames))
+	for u := range gs {
+		gs[u] = func() (float64, int) {
+			lo, hi := 0, b.stepMid[u]
+			state := b.gru.InitState(1)
+			if phase == 1 {
+				lo, hi = b.stepMid[u], b.stepFrames[u].Dim(0)
+				state = autograd.Const(b.stepState[u])
+			}
+			logits := b.segmentForward(b.stepFrames[u], lo, hi, state)
+			loss := autograd.SoftmaxCrossEntropy(logits, b.stepAlign[u][lo:hi])
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
+// ApplyPhase implements PhasedTrainer: every segment applies its own
+// optimizer step, the per-segment-update TBPTT scheme.
+func (b *SpeechRecognition) ApplyPhase(int) { b.opt.Step() }
 
 // decode greedily decodes an utterance: argmax per frame, then collapse
 // consecutive repeats.

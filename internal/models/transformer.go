@@ -127,6 +127,33 @@ func (b *TextToText) TrainEpoch() float64 {
 	return total / float64(b.batches)
 }
 
+// BeginEpoch implements ShardedTrainer (no per-epoch state).
+func (b *TextToText) BeginEpoch() {}
+
+// StepsPerEpoch implements ShardedTrainer: the serial epoch's 24 pairs
+// regrouped into macro-steps of shardGrains pairs each — the standard
+// large-batch data-parallel recipe, same data per epoch.
+func (b *TextToText) StepsPerEpoch() int { return b.batches / shardGrains }
+
+// ApplyStep implements ShardedTrainer.
+func (b *TextToText) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: draw the macro-batch of
+// translation pairs, one grain per pair, weighted by target length.
+func (b *TextToText) BeginStep() []Grain {
+	gs := make([]Grain, shardGrains)
+	for g := range gs {
+		src, tgt := b.ds.Pair()
+		gs[g] = func() (float64, int) {
+			lg, want := b.logits(src, tgt)
+			loss := autograd.SoftmaxCrossEntropy(lg, want)
+			loss.Backward()
+			return loss.Item(), len(want)
+		}
+	}
+	return gs
+}
+
 // Quality implements Benchmark: teacher-forced next-token accuracy on
 // held-out pairs (the paper's Table 3 metric is accuracy, target 55%).
 func (b *TextToText) Quality() float64 {

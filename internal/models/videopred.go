@@ -88,6 +88,33 @@ func (b *VideoPrediction) TrainEpoch() float64 {
 	return total / float64(b.batches)
 }
 
+// BeginEpoch implements ShardedTrainer (no per-epoch state).
+func (b *VideoPrediction) BeginEpoch() {}
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *VideoPrediction) StepsPerEpoch() int { return b.batches }
+
+// ApplyStep implements ShardedTrainer.
+func (b *VideoPrediction) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: draw the transition macro-batch
+// and split it into per-grain compositing sub-batches.
+func (b *VideoPrediction) BeginStep() []Grain {
+	frames, actions, next := b.ds.Transition(8)
+	bounds := GrainBounds(frames.Dim(0), shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			pred := b.forward(autograd.Const(frames.SliceRows(lo, hi)), autograd.Const(actions.SliceRows(lo, hi)))
+			loss := autograd.MSELoss(pred, next.SliceRows(lo, hi))
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
 // Quality implements Benchmark: next-frame MSE on held-out transitions
 // (paper target: 72 MSE on 8-bit pixels ≈ 0.0011 in [0,1] units).
 func (b *VideoPrediction) Quality() float64 {

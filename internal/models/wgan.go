@@ -83,15 +83,7 @@ func (b *ImageGeneration) TrainEpoch() float64 {
 			loss := autograd.Sub(autograd.Mean(fFake), autograd.Mean(fReal))
 			loss.Backward()
 			b.optD.Step()
-			for _, p := range b.critic.Params() {
-				for j, v := range p.Value.Data.Data {
-					if v > b.clip {
-						p.Value.Data.Data[j] = b.clip
-					} else if v < -b.clip {
-						p.Value.Data.Data[j] = -b.clip
-					}
-				}
-			}
+			b.clipCritic()
 		}
 		// Generator step: maximize E[f(fake)].
 		b.optG.ZeroGrad()
@@ -102,6 +94,101 @@ func (b *ImageGeneration) TrainEpoch() float64 {
 		total += loss.Item()
 	}
 	return total / float64(b.batches)
+}
+
+// clipCritic clamps every critic weight to [-clip, clip], the WGAN
+// Lipschitz constraint. Deterministic, so sharded replicas applying it
+// after the identical optimizer step stay in bitwise lockstep.
+func (b *ImageGeneration) clipCritic() {
+	for _, p := range b.critic.Params() {
+		for j, v := range p.Value.Data.Data {
+			if v > b.clip {
+				p.Value.Data.Data[j] = b.clip
+			} else if v < -b.clip {
+				p.Value.Data.Data[j] = -b.clip
+			}
+		}
+	}
+}
+
+// wganPhases is the serial alternating scheme as ordered phases: three
+// critic updates, then one generator update whose loss is the step's
+// reported loss (matching TrainEpoch's accounting).
+var wganPhases = []PhaseSpec{
+	{Name: "critic-1"}, {Name: "critic-2"}, {Name: "critic-3"},
+	{Name: "generator", Report: true},
+}
+
+// BeginEpoch implements PhasedTrainer (no per-epoch state).
+func (b *ImageGeneration) BeginEpoch() {}
+
+// StepsPerEpoch implements PhasedTrainer.
+func (b *ImageGeneration) StepsPerEpoch() int { return b.batches }
+
+// Phases implements PhasedTrainer.
+func (b *ImageGeneration) Phases() []PhaseSpec { return wganPhases }
+
+// PhaseParams implements PhasedTrainer: critic phases reduce only the
+// critic's gradients, the generator phase only the generator's — the
+// generator loss backpropagates through the critic, and the per-phase
+// group discards those gradients exactly as the serial optG step does.
+func (b *ImageGeneration) PhaseParams(phase int) []*nn.Param {
+	if phase < 3 {
+		return b.critic.Params()
+	}
+	return b.gen.Params()
+}
+
+// BeginPhase implements PhasedTrainer: a critic phase draws a real
+// macro-batch plus latents and scores real-vs-generated slices; the
+// generator phase draws latents and maximizes the critic's score of
+// its slices. Every replica draws identically, keeping the dataset and
+// latent RNG streams in lockstep.
+func (b *ImageGeneration) BeginPhase(phase int) []Grain {
+	bounds := GrainBounds(b.batch, shardGrains)
+	gs := make([]Grain, len(bounds))
+	if phase < 3 {
+		real := b.ds.Real(b.batch).Reshape(b.batch, b.imgVol)
+		z := tensor.Randn(b.rng, 0, 1, b.batch, b.zDim)
+		// The generator forward is deterministic given the lockstep
+		// weights; its output is detached so critic grains never put
+		// gradients on the generator.
+		fake := b.gen.Forward(autograd.Const(z)).Data
+		for g, bd := range bounds {
+			lo, hi := bd[0], bd[1]
+			gs[g] = func() (float64, int) {
+				fReal := b.critic.Forward(autograd.Const(real.SliceRows(lo, hi)))
+				fFake := b.critic.Forward(autograd.Const(fake.SliceRows(lo, hi)))
+				loss := autograd.Sub(autograd.Mean(fFake), autograd.Mean(fReal))
+				loss.Backward()
+				return loss.Item(), hi - lo
+			}
+		}
+		return gs
+	}
+	z := tensor.Randn(b.rng, 0, 1, b.batch, b.zDim)
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			fake := b.gen.Forward(autograd.Const(z.SliceRows(lo, hi)))
+			loss := autograd.Neg(autograd.Mean(b.critic.Forward(fake)))
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
+// ApplyPhase implements PhasedTrainer: critic phases step the critic
+// optimizer and re-clip the weights (the serial post-step), the
+// generator phase steps the generator optimizer.
+func (b *ImageGeneration) ApplyPhase(phase int) {
+	if phase < 3 {
+		b.optD.Step()
+		b.clipCritic()
+		return
+	}
+	b.optG.Step()
 }
 
 // Quality implements Benchmark: sliced Earth-Mover distance between
