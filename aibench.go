@@ -27,6 +27,7 @@ import (
 
 	"aibench/internal/core"
 	"aibench/internal/gpusim"
+	"aibench/internal/tensor"
 )
 
 // Suite is the top-level handle: the benchmark registry plus the
@@ -73,6 +74,18 @@ const (
 	// QuasiEntireSession trains a fixed number of epochs.
 	QuasiEntireSession = core.QuasiEntireSession
 )
+
+// UseKernels selects the named compute kernel ("naive", "blocked") for
+// every subsequent tensor operation; see the README's kernel
+// architecture section. Selection is process-global; the AIBENCH_KERNEL
+// environment variable sets the startup default.
+func UseKernels(name string) error { return tensor.UseKernels(name) }
+
+// KernelNames lists the registered compute kernels.
+func KernelNames() []string { return tensor.KernelNames() }
+
+// ActiveKernel reports which compute kernel tensor ops dispatch to.
+func ActiveKernel() string { return tensor.ActiveKernels().Name() }
 
 // TitanXP returns the characterization device of Table 4.
 func TitanXP() Device { return gpusim.TitanXP() }

@@ -8,11 +8,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
+	"os"
 	"testing"
 
 	"aibench"
 	"aibench/internal/core"
 	"aibench/internal/gpusim"
+	"aibench/internal/tensor"
 )
 
 // BenchmarkTable1 regenerates the suite comparison matrix.
@@ -225,6 +228,73 @@ func BenchmarkSubsetSavings(b *testing.B) {
 	b.ReportMetric(c.SubsetVsAIBench*100, "subset_vs_aibench_pct_paper_41")
 	b.ReportMetric(c.SubsetVsMLPerf*100, "subset_vs_mlperf_pct_paper_63")
 	b.ReportMetric(c.AIBenchVsMLPerf*100, "aibench_vs_mlperf_pct_paper_37")
+}
+
+// benchKernels lists the kernels a compute benchmark sweeps: every
+// registered kernel by default, or only $AIBENCH_KERNEL when CI pins
+// one (the sub-benchmark names carry kernel=<name> either way, so the
+// perf trajectory separates kernel wins from orchestration wins).
+func benchKernels() []string {
+	if k := os.Getenv(tensor.EnvKernel); k != "" {
+		return []string{k}
+	}
+	return tensor.KernelNames()
+}
+
+// underKernel runs fn with the named compute kernel active, restoring
+// the previous selection afterwards.
+func underKernel(b *testing.B, name string, fn func(b *testing.B)) {
+	prev := aibench.ActiveKernel()
+	if err := aibench.UseKernels(name); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := aibench.UseKernels(prev); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	b.Run("kernel="+name, fn)
+}
+
+// BenchmarkMatMul sweeps square GEMM sizes under each compute kernel —
+// the suite's hottest primitive, and the headline number for the
+// blocked kernel (target: ≥1.5× over naive at 512). GFLOPS counts a
+// multiply-add as two floating-point operations.
+func BenchmarkMatMul(b *testing.B) {
+	for _, kname := range benchKernels() {
+		underKernel(b, kname, func(b *testing.B) {
+			for _, n := range []int{128, 256, 512, 1024} {
+				b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+					rng := rand.New(rand.NewSource(7))
+					x := tensor.Randn(rng, 0, 1, n, n)
+					y := tensor.Randn(rng, 0, 1, n, n)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						tensor.MatMul(x, y)
+					}
+					flops := 2 * float64(n) * float64(n) * float64(n)
+					b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkConv2D measures the im2col-GEMM convolution under each
+// compute kernel at a ResNet-block-like geometry.
+func BenchmarkConv2D(b *testing.B) {
+	for _, kname := range benchKernels() {
+		underKernel(b, kname, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			x := tensor.Randn(rng, 0, 1, 8, 32, 32, 32)
+			w := tensor.Randn(rng, 0, 1, 64, 32, 3, 3)
+			p := tensor.Conv2DParams{Kernel: 3, Stride: 1, Padding: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Conv2D(x, w, p)
+			}
+		})
+	}
 }
 
 // BenchmarkSuiteScaled measures a full 24-benchmark quasi-entire suite

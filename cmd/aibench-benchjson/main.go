@@ -23,16 +23,54 @@ import (
 
 // report is the artifact schema: commit metadata plus one ns/op entry
 // per benchmark (the -N GOMAXPROCS suffix is kept so width changes on
-// the runner are visible rather than silently merged).
+// the runner are visible rather than silently merged). Results whose
+// name carries a kernel=<name> sub-benchmark segment are additionally
+// bucketed per compute kernel, so the performance trajectory separates
+// kernel wins from orchestration wins.
 type report struct {
 	SHA     string             `json:"sha,omitempty"`
 	Results map[string]float64 `json:"results"`
+	// Kernels maps compute-kernel name → benchmark name → ns/op for
+	// the subset of results that declare a kernel dimension.
+	Kernels map[string]map[string]float64 `json:"kernels,omitempty"`
 }
 
 // benchLine matches one result line of `go test -bench` output, e.g.
 //
 //	BenchmarkShardedSession/shards=4-8   1   123456789 ns/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// kernelDim extracts the kernel=<name> path segment benchmarks use to
+// declare which compute kernel produced a result. It runs against the
+// name with the GOMAXPROCS suffix already removed, so kernel names may
+// themselves contain dash-digits (e.g. a future "avx-512").
+var kernelDim = regexp.MustCompile(`(?:^|/)kernel=([^/]+)`)
+
+// gomaxprocsSuffix is the -N the test runner appends to the full
+// benchmark name (and only there — never mid-name).
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// splitKernels buckets results by their kernel dimension; results
+// without one are left out (they are orchestration benchmarks, not
+// kernel benchmarks). Returns nil when nothing declares a kernel.
+// Bucket entries keep the original, unstripped benchmark name.
+func splitKernels(results map[string]float64) map[string]map[string]float64 {
+	var byKernel map[string]map[string]float64
+	for name, ns := range results {
+		m := kernelDim.FindStringSubmatch(gomaxprocsSuffix.ReplaceAllString(name, ""))
+		if m == nil {
+			continue
+		}
+		if byKernel == nil {
+			byKernel = make(map[string]map[string]float64)
+		}
+		if byKernel[m[1]] == nil {
+			byKernel[m[1]] = make(map[string]float64)
+		}
+		byKernel[m[1]][name] = ns
+	}
+	return byKernel
+}
 
 // parseBench extracts benchmark name → ns/op from `go test -bench`
 // output, ignoring non-result lines (headers, PASS/ok, logs). It is an
@@ -96,7 +134,7 @@ func main() {
 	}
 	enc := json.NewEncoder(dst)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(report{SHA: *sha, Results: results}); err != nil {
+	if err := enc.Encode(report{SHA: *sha, Results: results, Kernels: splitKernels(results)}); err != nil {
 		fatal(err)
 	}
 }

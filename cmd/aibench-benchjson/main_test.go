@@ -43,3 +43,41 @@ func TestParseBenchRejectsEmpty(t *testing.T) {
 		t.Fatal("expected an error for input with no benchmark lines")
 	}
 }
+
+// TestSplitKernels covers the kernel dimension: middle segments,
+// last-segment names that carry the -N GOMAXPROCS suffix, and results
+// with no kernel dimension at all.
+func TestSplitKernels(t *testing.T) {
+	results := map[string]float64{
+		"BenchmarkMatMul/kernel=blocked/n=512-8": 100,
+		"BenchmarkMatMul/kernel=naive/n=512-8":   200,
+		"BenchmarkConv2D/kernel=blocked-8":       300,
+		"BenchmarkShardedSession/shards=2-8":     400,
+		"BenchmarkMatMul/kernel=avx-512/n=64-8":  500, // dash-digits in the kernel name itself
+	}
+	got := splitKernels(results)
+	if len(got) != 3 {
+		t.Fatalf("split into %d kernels, want 3: %v", len(got), got)
+	}
+	if len(got["avx-512"]) != 1 || got["avx-512"]["BenchmarkMatMul/kernel=avx-512/n=64-8"] != 500 {
+		t.Errorf("avx-512 bucket wrong (dash-digit kernel name mangled?): %v", got)
+	}
+	if got["blocked"]["BenchmarkMatMul/kernel=blocked/n=512-8"] != 100 ||
+		got["blocked"]["BenchmarkConv2D/kernel=blocked-8"] != 300 {
+		t.Errorf("blocked bucket wrong: %v", got["blocked"])
+	}
+	if len(got["naive"]) != 1 || got["naive"]["BenchmarkMatMul/kernel=naive/n=512-8"] != 200 {
+		t.Errorf("naive bucket wrong: %v", got["naive"])
+	}
+	for k, bucket := range got {
+		if _, leaked := bucket["BenchmarkShardedSession/shards=2-8"]; leaked {
+			t.Errorf("kernel-less result leaked into %s bucket", k)
+		}
+	}
+}
+
+func TestSplitKernelsNoneDeclared(t *testing.T) {
+	if got := splitKernels(map[string]float64{"BenchmarkX-8": 1}); got != nil {
+		t.Fatalf("expected nil for kernel-less results, got %v", got)
+	}
+}

@@ -5,9 +5,9 @@
 // Usage:
 //
 //	aibench list
-//	aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N]
-//	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-shards N] [-out results.jsonl] [-v]
-//	aibench scaling [id] [-shards 1,2,4] [-epochs N] [-seed S]
+//	aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel naive|blocked]
+//	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K] [-out results.jsonl] [-v]
+//	aibench scaling [id] [-shards 1,2,4] [-epochs N] [-seed S] [-kernel K]
 //	aibench characterize <id|all> [-gpu xp|rtx] [-workers N]
 //	aibench subset
 //	aibench costs
@@ -63,6 +63,24 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|subset|costs|report> [args]")
 }
 
+// kernelFlag registers the -kernel flag shared by the training
+// commands. The returned apply func selects the kernel process-wide
+// (exiting on an unknown name) and must run after fs is parsed.
+func kernelFlag(fs *flag.FlagSet) (apply func()) {
+	names := strings.Join(aibench.KernelNames(), "|")
+	kernel := fs.String("kernel", "", "compute kernel ("+names+"; default: $"+
+		"AIBENCH_KERNEL or blocked)")
+	return func() {
+		if *kernel == "" {
+			return
+		}
+		if err := aibench.UseKernels(*kernel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+}
+
 // parseWithID parses fs against args accepting the positional id before,
 // after, or between the flags. The flag package stops at the first
 // positional argument, so the documented `aibench characterize <id>
@@ -101,11 +119,13 @@ func cmdRun(s *aibench.Suite, args []string) {
 	seed := fs.Int64("seed", 42, "random seed")
 	quasi := fs.Bool("quasi", false, "run a quasi-entire session (fixed epochs)")
 	shards := fs.Int("shards", 0, "data-parallel shard workers (0 = serial; results are bitwise identical for any count)")
+	applyKernel := kernelFlag(fs)
 	id := parseWithID(fs, args)
 	if id == "" {
-		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N]")
+		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K]")
 		os.Exit(2)
 	}
+	applyKernel()
 	b := s.Benchmark(id)
 	if b == nil {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try `aibench list`)\n", id)
@@ -121,8 +141,8 @@ func cmdRun(s *aibench.Suite, args []string) {
 	if res.FallbackReason != "" {
 		fmt.Printf("(%s ran serial: %s)\n", b.ID, res.FallbackReason)
 	}
-	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v shards=%d\n",
-		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal, res.Shards)
+	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v shards=%d kernel=%s\n",
+		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal, res.Shards, res.Kernel)
 }
 
 func cmdRunAll(s *aibench.Suite, args []string) {
@@ -134,7 +154,9 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	shards := fs.Int("shards", 0, "data-parallel shard workers per session (0 = serial)")
 	out := fs.String("out", "", "stream results to this JSONL file as sessions complete")
 	verbose := fs.Bool("v", false, "stream per-epoch progress from every session")
+	applyKernel := kernelFlag(fs)
 	fs.Parse(args)
+	applyKernel()
 	kind := aibench.EntireSession
 	if *quasi {
 		kind = aibench.QuasiEntireSession
@@ -195,8 +217,8 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 		fmt.Printf("%-12s %-34s %7d %7d %9.4f %9.4f %v\n",
 			r.ID, r.Name, r.Epochs, r.Shards, r.FinalQuality, r.Target, r.ReachedGoal)
 	}
-	fmt.Printf("\n%d/%d sessions reached their target in %s (workers=%d)\n",
-		reached, ran, elapsed.Round(time.Millisecond), width)
+	fmt.Printf("\n%d/%d sessions reached their target in %s (workers=%d kernel=%s)\n",
+		reached, ran, elapsed.Round(time.Millisecond), width, aibench.ActiveKernel())
 	if ran < len(results) {
 		fmt.Printf("interrupted: %d sessions never launched\n", len(results)-ran)
 	}
@@ -219,7 +241,9 @@ func cmdScaling(s *aibench.Suite, args []string) {
 	shardsCSV := fs.String("shards", "1,2,4", "comma-separated shard counts to measure")
 	epochs := fs.Int("epochs", 2, "epochs to time per point")
 	seed := fs.Int64("seed", 42, "base seed")
+	applyKernel := kernelFlag(fs)
 	id := parseWithID(fs, args)
+	applyKernel()
 	var shards []int
 	for _, tok := range strings.Split(*shardsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))

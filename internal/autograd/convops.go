@@ -10,18 +10,11 @@ func Conv2D(a, w *Value, p tensor.Conv2DParams) *Value {
 	return newNode("conv2d", out, func(g *tensor.Tensor) {
 		n, c, h, wd := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2), a.Data.Dim(3)
 		outC := w.Data.Dim(0)
-		oh, ow := p.OutDim(h), p.OutDim(wd)
-		plane := oh * ow
-		// Rearrange grad from NCHW to (n*oh*ow) × outC to invert the GEMM.
-		gmat := tensor.New(n*plane, outC)
-		for img := 0; img < n; img++ {
-			for oc := 0; oc < outC; oc++ {
-				src := (img*outC + oc) * plane
-				for pix := 0; pix < plane; pix++ {
-					gmat.Data[(img*plane+pix)*outC+oc] = g.Data[src+pix]
-				}
-			}
-		}
+		// Rearrange grad from NCHW to (n*oh*ow) × outC to invert the
+		// GEMM; NCHWToMat routes through the kernel layer's parallel
+		// gate, so big backward passes split across cores like the
+		// forward convolution does.
+		gmat := tensor.NCHWToMat(g)
 		wmat := w.Data.Reshape(outC, c*p.Kernel*p.Kernel)
 		if a.requiresGrad {
 			// dCols = G·W, then fold back with col2im.

@@ -16,6 +16,19 @@ func MatMul(a, b *Value) *Value {
 	}, a, b)
 }
 
+// MatMulT multiplies a by the transpose of b: (m×k) · (n×k)ᵀ → (m×n),
+// without materializing the transpose. Attention uses it for Q·Kᵀ so
+// the score GEMM and both its backward GEMMs stay inside the kernel
+// dispatch layer instead of paying a Transpose copy each way.
+func MatMulT(a, b *Value) *Value {
+	out := tensor.MatMulT(a.Data, b.Data)
+	return newNode("matmult", out, func(g *tensor.Tensor) {
+		// out = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A
+		a.accumGrad(tensor.MatMul(g, b.Data))
+		b.accumGrad(tensor.TMatMul(g, a.Data))
+	}, a, b)
+}
+
 // AddRowVector adds bias vector v to every row of 2-D a.
 func AddRowVector(a, v *Value) *Value {
 	out := tensor.AddRowVector(a.Data, v.Data)

@@ -6,6 +6,7 @@ import (
 
 	"aibench/internal/dist"
 	"aibench/internal/models"
+	"aibench/internal/tensor"
 )
 
 // SessionKind selects what a run of a benchmark means, per the Section 3
@@ -33,6 +34,13 @@ type SessionConfig struct {
 	// identical for every N, so the count is a pure scheduling knob).
 	// Benchmarks without a shardable train step fall back to serial.
 	Shards int
+	// Kernel optionally selects the compute kernel ("naive", "blocked",
+	// ...) for this and subsequent sessions; empty keeps whatever is
+	// active (the AIBENCH_KERNEL env var or the blocked default).
+	// Selection is process-global — concurrent sessions always share
+	// one kernel — and an unknown name panics, mirroring the tensor
+	// package's panic-on-bad-input contract.
+	Kernel string
 	Log    io.Writer // optional progress stream
 }
 
@@ -49,11 +57,15 @@ type SessionResult struct {
 	// FallbackReason says why a session that requested sharding ran
 	// serial anyway (empty when the session trained as configured), so
 	// a misconfigured run never silently looks sharded.
-	FallbackReason string    `json:"fallback_reason,omitempty"`
-	ReachedGoal    bool      `json:"reached_goal"`
-	FinalQuality   float64   `json:"final_quality"`
-	Target         float64   `json:"target"`
-	Losses         []float64 `json:"losses"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Kernel is the compute kernel ("naive", "blocked", ...) the
+	// session's tensor ops dispatched to, so JSONL and perf artifacts
+	// record which kernel produced each number.
+	Kernel       string    `json:"kernel"`
+	ReachedGoal  bool      `json:"reached_goal"`
+	FinalQuality float64   `json:"final_quality"`
+	Target       float64   `json:"target"`
+	Losses       []float64 `json:"losses"`
 }
 
 // epochTrainer is one epoch of work plus its evaluation — implemented
@@ -74,6 +86,11 @@ type epochTrainer interface {
 func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 	if cfg.MaxEpochs <= 0 {
 		cfg.MaxEpochs = 150
+	}
+	if cfg.Kernel != "" {
+		if err := tensor.UseKernels(cfg.Kernel); err != nil {
+			panic(fmt.Sprintf("core: SessionConfig.Kernel: %v", err))
+		}
 	}
 	var (
 		w        models.Benchmark
@@ -109,7 +126,8 @@ func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 	}
 	res := SessionResult{
 		ID: b.ID, Name: w.Name(), Kind: cfg.Kind, Shards: shards,
-		FallbackReason: fallback, Target: w.ScaledTarget(),
+		FallbackReason: fallback, Kernel: tensor.ActiveKernels().Name(),
+		Target: w.ScaledTarget(),
 	}
 	for ep := 1; ep <= cfg.MaxEpochs; ep++ {
 		loss := trainer.TrainEpoch()

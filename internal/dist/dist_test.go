@@ -9,6 +9,7 @@ import (
 	"aibench/internal/core"
 	"aibench/internal/dist"
 	"aibench/internal/models"
+	"aibench/internal/tensor"
 )
 
 // shardedIDs are the benchmarks with shardable train steps — half the
@@ -75,6 +76,43 @@ func TestShardedLossesBitwiseIdentical(t *testing.T) {
 				t.Fatalf("%s: expected dist path at Shards=%d, got Shards=%d", id, n, got.Shards)
 			}
 			sameResult(t, id, n, got, base)
+		}
+	}
+}
+
+// TestShardDeterminismAcrossKernels re-runs the bitwise shard sweep
+// under every registered compute kernel for one benchmark per sharded
+// step shape (CNN single-phase, WGAN critic/generator phases, speech
+// TBPTT segments, ENAS weights/controller). The kernel must never leak
+// into the numbers: shard counts stay bitwise identical within a
+// kernel, and — because every kernel accumulates each output element
+// in the same ascending-k order — the losses must match bitwise across
+// kernels too.
+func TestShardDeterminismAcrossKernels(t *testing.T) {
+	prev := tensor.ActiveKernels().Name()
+	defer func() {
+		if err := tensor.UseKernels(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, id := range []string{"DC-AI-C1", "DC-AI-C2", "DC-AI-C6", "DC-AI-C17"} {
+		var acrossKernels []core.SessionResult
+		for _, kname := range tensor.KernelNames() {
+			if err := tensor.UseKernels(kname); err != nil {
+				t.Fatal(err)
+			}
+			base := runSession(t, id, 1, 2, core.QuasiEntireSession)
+			if base.Kernel != kname {
+				t.Fatalf("%s: SessionResult.Kernel = %q, want %q", id, base.Kernel, kname)
+			}
+			for _, n := range []int{2, 4, 7} {
+				got := runSession(t, id, n, 2, core.QuasiEntireSession)
+				sameResult(t, id+"/"+kname, n, got, base)
+			}
+			acrossKernels = append(acrossKernels, base)
+		}
+		for i := 1; i < len(acrossKernels); i++ {
+			sameResult(t, id+"/cross-kernel", 1, acrossKernels[i], acrossKernels[0])
 		}
 	}
 }

@@ -47,7 +47,9 @@ func (a *MultiHeadAttention) Attend(q, kv *autograd.Value, causal bool) *autogra
 		qh := autograd.SliceCols(qs, h*hd, (h+1)*hd)
 		kh := autograd.SliceCols(ks, h*hd, (h+1)*hd)
 		vh := autograd.SliceCols(vs, h*hd, (h+1)*hd)
-		scores := autograd.Scale(autograd.MatMul(qh, autograd.Transpose(kh)), scale)
+		// Q·Kᵀ through the transpose-free GEMM: one kernel-layer call
+		// instead of a materialized Transpose plus MatMul.
+		scores := autograd.Scale(autograd.MatMulT(qh, kh), scale)
 		if causal {
 			scores = applyCausalMask(scores)
 		}

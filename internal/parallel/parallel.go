@@ -95,6 +95,20 @@ func For(workers, n int, fn func(i int)) {
 	ForCtx(context.Background(), workers, n, fn)
 }
 
+// For2D runs fn over the rows×cols grid, flattening the two loops into
+// one index space so the pool hands out whole (r,c) tiles and balances
+// uneven tile costs the same way For balances rows. Kernel code uses it
+// to split a matrix across both row and column blocks instead of only
+// the outer row loop, which keeps every core busy even when one
+// dimension is short. The same claim/panic/ordering contract as For
+// applies; iteration order within one goroutine is row-major.
+func For2D(workers, rows, cols int, fn func(r, c int)) {
+	if rows <= 0 || cols <= 0 {
+		return
+	}
+	For(workers, rows*cols, func(t int) { fn(t/cols, t%cols) })
+}
+
 // ForCtx is For with early stopping: no new index is claimed once ctx
 // is cancelled or once any invocation of fn panics (the first panic is
 // re-raised on the caller's goroutine after the in-flight indices

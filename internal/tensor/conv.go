@@ -89,31 +89,56 @@ func Col2Im(cols *Tensor, n, c, h, w int, p Conv2DParams) *Tensor {
 	return x
 }
 
-// Conv2D convolves an NCHW input with an OIKK weight tensor, producing an
-// N×O×outH×outW output. It is implemented as im2col followed by GEMM,
-// mirroring how cuDNN's implicit-GEMM kernels work.
+// Conv2D convolves an NCHW input with an OIKK weight tensor, producing
+// an N×O×outH×outW output. Both kernels implement it as im2col + GEMM
+// (mirroring cuDNN's implicit-GEMM kernels); the blocked kernel unfolds
+// and multiplies chunk-by-chunk instead of materializing the full
+// column matrix.
 func Conv2D(x, weight *Tensor, p Conv2DParams) *Tensor {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D requires NCHW input, got %v", x.shape))
+	}
 	if len(weight.shape) != 4 || weight.shape[2] != p.Kernel || weight.shape[3] != p.Kernel {
 		panic(fmt.Sprintf("tensor: Conv2D weight shape %v incompatible with kernel %d", weight.shape, p.Kernel))
 	}
-	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	outC, inC := weight.shape[0], weight.shape[1]
-	if inC != c {
-		panic(fmt.Sprintf("tensor: Conv2D input channels %d != weight in-channels %d", c, inC))
+	if weight.shape[1] != x.shape[1] {
+		panic(fmt.Sprintf("tensor: Conv2D input channels %d != weight in-channels %d", x.shape[1], weight.shape[1]))
 	}
-	oh, ow := p.OutDim(h), p.OutDim(w)
-	cols := Im2Col(x, p)                              // (n*oh*ow) × (c*k*k)
-	wmat := weight.Reshape(outC, c*p.Kernel*p.Kernel) // outC × (c*k*k)
-	prod := MatMulT(cols, wmat)                       // (n*oh*ow) × outC
-	// Rearrange rows from (img,oy,ox)×outC to NCHW; every (img,pix) row
-	// writes a disjoint column of out, so rows parallelize cleanly.
-	out := New(n, outC, oh, ow)
+	return ActiveKernels().Conv2D(x, weight, p)
+}
+
+// matToNCHW rearranges a (n*oh*ow) × c matrix whose rows run
+// (img,oy,ox) into an NCHW tensor. Every (img,pix) row writes a
+// disjoint column of the output, so rows parallelize cleanly.
+func matToNCHW(prod *Tensor, n, c, oh, ow int) *Tensor {
+	out := New(n, c, oh, ow)
 	plane := oh * ow
-	parRows(n*plane, n*plane*outC, func(r int) {
+	parRows(n*plane, n*plane*c, func(r int) {
 		img, pix := r/plane, r%plane
-		src := prod.Data[r*outC : (r+1)*outC]
-		for oc := 0; oc < outC; oc++ {
-			out.Data[(img*outC+oc)*plane+pix] = src[oc]
+		src := prod.Data[r*c : (r+1)*c]
+		for ch := 0; ch < c; ch++ {
+			out.Data[(img*c+ch)*plane+pix] = src[ch]
+		}
+	})
+	return out
+}
+
+// NCHWToMat is the inverse rearrangement: an NCHW tensor becomes a
+// (n*oh*ow) × c matrix with rows running (img,oy,ox). Convolution
+// backward passes use it to turn the output gradient back into GEMM
+// layout; it routes through the same parallel gate as the kernels.
+func NCHWToMat(g *Tensor) *Tensor {
+	if len(g.shape) != 4 {
+		panic(fmt.Sprintf("tensor: NCHWToMat requires NCHW input, got %v", g.shape))
+	}
+	n, c, oh, ow := g.shape[0], g.shape[1], g.shape[2], g.shape[3]
+	plane := oh * ow
+	out := New(n*plane, c)
+	parRows(n*plane, n*plane*c, func(r int) {
+		img, pix := r/plane, r%plane
+		dst := out.Data[r*c : (r+1)*c]
+		for ch := 0; ch < c; ch++ {
+			dst[ch] = g.Data[(img*c+ch)*plane+pix]
 		}
 	})
 	return out

@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aibench/internal/parallel"
+)
+
+// Kernels is the pluggable compute-kernel interface behind the
+// package-level MatMul/MatMulT/TMatMul/MatVec/Outer/Conv2D entry
+// points. Implementations receive shape-validated operands (the
+// wrappers panic on rank/dimension mismatches before dispatching) and
+// must satisfy the determinism contract: for a fixed kernel, results
+// are bitwise identical run to run regardless of goroutine scheduling,
+// so every output element's accumulation order must be fixed by the
+// operand shapes alone.
+//
+// Two kernels are registered by default: "naive" (the original
+// row-parallel loops, kept as the reference oracle) and "blocked" (the
+// default — cache-blocked, panel-packed GEMM with a register
+// micro-kernel and a 2-D row×column-block work decomposition).
+type Kernels interface {
+	// Name is the registry key ("naive", "blocked", ...).
+	Name() string
+	// ParallelThreshold is the approximate multiply-add count above
+	// which this kernel's loops (and the shared im2col/rearrange
+	// helpers) fork across CPU cores. Below it the fork-join overhead
+	// outweighs the work.
+	ParallelThreshold() int
+	// MatMul computes (m×k) · (k×n) → (m×n).
+	MatMul(a, b *Tensor) *Tensor
+	// MatMulT computes a · bᵀ for b stored (n×k): (m×k) · (n×k)ᵀ → (m×n).
+	MatMulT(a, b *Tensor) *Tensor
+	// TMatMul computes aᵀ · b for a stored (k×m): (k×m)ᵀ · (k×n) → (m×n).
+	TMatMul(a, b *Tensor) *Tensor
+	// MatVec computes (m×k) · (k) → (m).
+	MatVec(a, v *Tensor) *Tensor
+	// Outer computes (m) ⊗ (n) → (m×n).
+	Outer(a, b *Tensor) *Tensor
+	// Conv2D convolves NCHW x with OIKK weights → N×O×outH×outW.
+	Conv2D(x, w *Tensor, p Conv2DParams) *Tensor
+}
+
+// EnvKernel is the environment variable consulted at startup to select
+// the active kernel (same names as UseKernels). Unset means
+// DefaultKernel.
+const EnvKernel = "AIBENCH_KERNEL"
+
+// DefaultKernel is the kernel selected when neither the environment
+// nor UseKernels chooses one.
+const DefaultKernel = "blocked"
+
+var (
+	kernelMu sync.Mutex
+	registry = map[string]Kernels{}
+	active   atomic.Pointer[Kernels]
+)
+
+// RegisterKernels adds an implementation to the registry; it panics on
+// a duplicate name so two kernels can never silently shadow each other.
+func RegisterKernels(k Kernels) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if _, dup := registry[k.Name()]; dup {
+		panic(fmt.Sprintf("tensor: kernel %q registered twice", k.Name()))
+	}
+	registry[k.Name()] = k
+}
+
+// KernelNames lists the registered kernels in sorted order.
+func KernelNames() []string {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupKernels returns the named kernel without activating it, so
+// tests and tools can run two kernels side by side.
+func LookupKernels(name string) (Kernels, bool) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	k, ok := registry[name]
+	return k, ok
+}
+
+// UseKernels makes the named kernel the active one for every
+// subsequent package-level op. Switching is process-global: do it at
+// startup (CLI flag, env) or between sessions, not while tensor ops
+// from another goroutine are in flight with a different expectation.
+func UseKernels(name string) error {
+	k, ok := LookupKernels(name)
+	if !ok {
+		return fmt.Errorf("tensor: unknown kernel %q (registered: %v)", name, KernelNames())
+	}
+	active.Store(&k)
+	return nil
+}
+
+// ActiveKernels returns the kernel the package-level ops dispatch to.
+func ActiveKernels() Kernels {
+	return *active.Load()
+}
+
+func init() {
+	RegisterKernels(naiveKernels{})
+	RegisterKernels(blockedKernels{})
+	name := DefaultKernel
+	if v := os.Getenv(EnvKernel); v != "" {
+		name = v
+	}
+	if err := UseKernels(name); err != nil {
+		panic(fmt.Sprintf("tensor: %s=%q: %v", EnvKernel, name, err))
+	}
+}
+
+// parGate runs fn over [0, units) — across the cores when flops is at
+// or above threshold (and there is more than one unit to hand out),
+// serially otherwise. Both paths invoke fn over the same index set, so
+// the threshold only decides scheduling, never results.
+func parGate(threshold, units, flops int, fn func(i int)) {
+	if flops >= threshold && units > 1 {
+		parallel.For(0, units, fn)
+		return
+	}
+	for i := 0; i < units; i++ {
+		fn(i)
+	}
+}
+
+// gatedMatVec is the shared MatVec body: a per-row ascending dot
+// product behind the caller's parallel gate. There is no k-reuse to
+// block for, so every kernel uses it — only the threshold differs.
+func gatedMatVec(threshold int, a, v *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	out := New(m)
+	parGate(threshold, m, m*k, func(i int) {
+		row := a.Data[i*k : (i+1)*k]
+		s := 0.0
+		for j := 0; j < k; j++ {
+			s += row[j] * v.Data[j]
+		}
+		out.Data[i] = s
+	})
+	return out
+}
+
+// gatedOuter is the shared Outer body: disjoint output rows behind the
+// caller's parallel gate.
+func gatedOuter(threshold int, a, b *Tensor) *Tensor {
+	m, n := a.shape[0], b.shape[0]
+	out := New(m, n)
+	parGate(threshold, m, m*n, func(i int) {
+		av := a.Data[i]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] = av * b.Data[j]
+		}
+	})
+	return out
+}
+
+// parRows splits a row loop using the active kernel's parallel
+// threshold. Shared helpers that are not themselves kernel methods
+// (Im2Col, the NCHW↔matrix rearrangers) gate through this.
+func parRows(rows int, flops int, fn func(i int)) {
+	parGate(ActiveKernels().ParallelThreshold(), rows, flops, fn)
+}

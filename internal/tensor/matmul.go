@@ -1,61 +1,22 @@
 package tensor
 
-import (
-	"fmt"
+import "fmt"
 
-	"aibench/internal/parallel"
-)
+// The package-level linear-algebra entry points validate shapes and
+// dispatch to the active compute kernel (see Kernels in kernels.go).
+// Implementations live in kernel_naive.go and kernel_blocked.go;
+// selection happens via UseKernels, the AIBENCH_KERNEL environment
+// variable, or the CLI's -kernel flag.
 
-// parallelFLOPs is the approximate multiply-add count above which the
-// matmul/conv kernels split their outer loop across CPU cores. Below
-// it the goroutine fork-join overhead outweighs the work, so kernels
-// fall back to the plain serial loops. Both paths compute each output
-// row with identical operation order, so results are byte-identical
-// either way; the threshold only decides scheduling.
-const parallelFLOPs = 1 << 17
-
-// parRows runs fn over [0, rows) — across the cores when the kernel is
-// large enough to amortize the fork-join, serially otherwise.
-func parRows(rows int, flops int, fn func(i int)) {
-	if flops >= parallelFLOPs && rows > 1 {
-		parallel.For(0, rows, fn)
-		return
-	}
-	for i := 0; i < rows; i++ {
-		fn(i)
-	}
-}
-
-// MatMul multiplies two 2-D tensors: (m×k) · (k×n) → (m×n). Large
-// products are row-parallel across CPU cores.
+// MatMul multiplies two 2-D tensors: (m×k) · (k×n) → (m×n).
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
 	}
-	m, ka := a.shape[0], a.shape[1]
-	kb, n := b.shape[0], b.shape[1]
-	if ka != kb {
+	if a.shape[1] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v vs %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	// ikj loop order keeps the inner loop streaming over contiguous rows
-	// of b and out, which matters even for the scaled models. Each output
-	// row depends only on one row of a, so rows parallelize cleanly.
-	parRows(m, m*ka*n, func(i int) {
-		arow := a.Data[i*ka : (i+1)*ka]
-		orow := out.Data[i*n : (i+1)*n]
-		for k := 0; k < ka; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	})
-	return out
+	return ActiveKernels().MatMul(a, b)
 }
 
 // MatMulT multiplies a by the transpose of b: (m×k) · (n×k)ᵀ → (m×n).
@@ -64,25 +25,10 @@ func MatMulT(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulT requires 2-D operands, got %v and %v", a.shape, b.shape))
 	}
-	m, ka := a.shape[0], a.shape[1]
-	n, kb := b.shape[0], b.shape[1]
-	if ka != kb {
+	if a.shape[1] != b.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims differ: %v vs %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	parRows(m, m*ka*n, func(i int) {
-		arow := a.Data[i*ka : (i+1)*ka]
-		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*kb : (j+1)*kb]
-			s := 0.0
-			for k := 0; k < ka; k++ {
-				s += arow[k] * brow[k]
-			}
-			orow[j] = s
-		}
-	})
-	return out
+	return ActiveKernels().MatMulT(a, b)
 }
 
 // TMatMul multiplies the transpose of a by b: (k×m)ᵀ · (k×n) → (m×n).
@@ -90,29 +36,10 @@ func TMatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: TMatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
 	}
-	ka, m := a.shape[0], a.shape[1]
-	kb, n := b.shape[0], b.shape[1]
-	if ka != kb {
+	if a.shape[0] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims differ: %v vs %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	// i-outer/k-middle order so output rows are independent and can be
-	// split across cores; per-element accumulation still runs k ascending,
-	// matching the k-outer serial order bit for bit.
-	parRows(m, m*ka*n, func(i int) {
-		orow := out.Data[i*n : (i+1)*n]
-		for k := 0; k < ka; k++ {
-			av := a.Data[k*m+i]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	})
-	return out
+	return ActiveKernels().TMatMul(a, b)
 }
 
 // Transpose returns the transpose of a 2-D tensor.
@@ -135,17 +62,7 @@ func MatVec(a, v *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(v.shape) != 1 || a.shape[1] != v.shape[0] {
 		panic(fmt.Sprintf("tensor: MatVec shapes %v and %v incompatible", a.shape, v.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	out := New(m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*k : (i+1)*k]
-		s := 0.0
-		for j := 0; j < k; j++ {
-			s += row[j] * v.Data[j]
-		}
-		out.Data[i] = s
-	}
-	return out
+	return ActiveKernels().MatVec(a, v)
 }
 
 // Outer returns the outer product of two 1-D tensors: (m) ⊗ (n) → (m×n).
@@ -153,12 +70,5 @@ func Outer(a, b *Tensor) *Tensor {
 	if len(a.shape) != 1 || len(b.shape) != 1 {
 		panic("tensor: Outer requires 1-D operands")
 	}
-	m, n := a.shape[0], b.shape[0]
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[i*n+j] = a.Data[i] * b.Data[j]
-		}
-	}
-	return out
+	return ActiveKernels().Outer(a, b)
 }
