@@ -9,13 +9,24 @@
 // stack on synthetic datasets — with the paper-scale architecture used
 // for analytic characterization and GPU-simulator profiling.
 //
-// Typical use:
+// Typical use — declare a Plan, validate it into a Runner, run it:
 //
 //	suite := aibench.NewSuite()
-//	res := suite.Benchmark("DC-AI-C1").RunScaledSession(aibench.SessionConfig{
-//	    Kind: aibench.EntireSession, Seed: 42,
+//	runner, err := suite.NewRunner(aibench.Plan{
+//	    Kind:       aibench.RunSession,
+//	    Benchmarks: []string{"DC-AI-C1"},
+//	    Session:    aibench.EntireSession,
+//	    Seed:       42,
 //	})
-//	fmt.Printf("reached %v in %d epochs\n", res.ReachedGoal, res.Epochs)
+//	if err != nil { ... }
+//	res, err := runner.Run(context.Background(), nil)
+//	fmt.Printf("reached %v in %d epochs\n", res.Sessions[0].ReachedGoal, res.Sessions[0].Epochs)
+//
+// The same Plan shape executes every run kind of the methodology —
+// training sessions, characterizations, scaling sweeps, and replayed
+// paper-scale sessions — through one context-aware engine, and every
+// record it emits can be persisted as versioned JSONL and replayed
+// into reports without re-running anything (cmd/aibench-report -from).
 //
 // The report renderers regenerate every table and figure of the
 // paper's evaluation section; see cmd/aibench-report.
@@ -23,10 +34,12 @@ package aibench
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"aibench/internal/core"
 	"aibench/internal/gpusim"
+	"aibench/internal/results"
 	"aibench/internal/tensor"
 )
 
@@ -62,9 +75,52 @@ type (
 	ScalingRow = core.ScalingRow
 	// ScalingPoint is one shard count of a scaling measurement.
 	ScalingPoint = core.ScalingPoint
+	// ReplaySession is one simulated paper-scale session.
+	ReplaySession = core.ReplaySession
 	// Device describes a simulated GPU.
 	Device = gpusim.Device
+
+	// Plan declares what to run: benchmark selection, run kind, epochs,
+	// seed, shards, kernel, workers. Validate it with Suite.NewRunner.
+	Plan = core.Plan
+	// Runner executes a validated Plan through one context-aware engine.
+	Runner = core.Runner
+	// RunKind selects a Plan's run shape.
+	RunKind = core.RunKind
+	// RunResult collects the records a run produced.
+	RunResult = core.RunResult
+	// Record is the typed union of everything a run emits.
+	Record = core.Record
+	// RecordKind tags a Record's payload.
+	RecordKind = core.RecordKind
+	// RunMeta identifies the run behind a persisted result envelope.
+	RunMeta = core.RunMeta
 )
+
+// The run kinds a Plan can execute.
+const (
+	// RunSession trains real scaled sessions.
+	RunSession = core.RunSession
+	// RunCharacterize profiles the paper-scale architectures.
+	RunCharacterize = core.RunCharacterize
+	// RunScaling sweeps data-parallel shard counts.
+	RunScaling = core.RunScaling
+	// RunReplay simulates entire paper-scale sessions.
+	RunReplay = core.RunReplay
+)
+
+// The persisted record kinds.
+const (
+	KindSession          = core.KindSession
+	KindCharacterization = core.KindCharacterization
+	KindScaling          = core.KindScaling
+	KindReplay           = core.KindReplay
+)
+
+// NewRunner validates the plan against the suite's registry and
+// returns a Runner for it: unknown benchmark ids, unknown kernels, and
+// malformed sweeps are build-time errors, never mid-run panics.
+func (s *Suite) NewRunner(p Plan) (*Runner, error) { return core.NewRunner(s.reg, p) }
 
 // Session kinds.
 const (
@@ -124,8 +180,26 @@ func (s *Suite) Characterize(id string, dev Device) Characterization {
 }
 
 // CharacterizeAll profiles a benchmark list on the device.
+//
+// Deprecated: build a Plan{Kind: RunCharacterize, Benchmarks: ids}
+// instead; the Runner adds context cancellation, worker pooling, and
+// record persistence.
 func CharacterizeAll(bs []*Benchmark, dev Device) []Characterization {
 	return core.CharacterizeSuite(bs, dev)
+}
+
+// mustRun executes a plan on behalf of a deprecated facade, preserving
+// the legacy panic-on-bad-input contract the facades documented.
+func (s *Suite) mustRun(ctx context.Context, p Plan, sink func(Record) error) *RunResult {
+	runner, err := s.NewRunner(p)
+	if err != nil {
+		panic(fmt.Sprintf("aibench: %v", err))
+	}
+	res, err := runner.Run(ctx, sink)
+	if err != nil {
+		panic(fmt.Sprintf("aibench: %v", err))
+	}
+	return res
 }
 
 // RunAllScaled executes a scaled training session for all 24 benchmarks
@@ -135,8 +209,11 @@ func CharacterizeAll(bs []*Benchmark, dev Device) []Characterization {
 // the benchmark id, so results are bitwise identical for any worker
 // count; cfg.Log, if set, receives safely interleaved progress lines
 // from the concurrent sessions.
+//
+// Deprecated: build a Plan{Kind: RunSession} instead; NewRunner
+// validates up front and returns errors where this facade panics.
 func (s *Suite) RunAllScaled(cfg SessionConfig, workers int) []SessionResult {
-	return core.RunSuiteScaled(s.reg.All(), cfg, workers)
+	return s.RunAllScaledStream(context.Background(), cfg, workers, nil)
 }
 
 // RunAllScaledStream is RunAllScaled with completion streaming and
@@ -145,22 +222,58 @@ func (s *Suite) RunAllScaled(cfg SessionConfig, workers int) []SessionResult {
 // partial results; once ctx is cancelled or a session panics, no new
 // session launches. Never-launched slots are zero-valued (empty ID) in
 // the returned slice.
+//
+// Deprecated: build a Plan{Kind: RunSession} and call Runner.Run with a
+// Record sink instead; the Runner's sink can fail (stopping the run)
+// and its records persist through the versioned JSONL envelope.
 func (s *Suite) RunAllScaledStream(ctx context.Context, cfg SessionConfig, workers int, sink func(SessionResult)) []SessionResult {
-	return core.RunSuiteScaledStream(ctx, s.reg.All(), cfg, workers, sink)
+	var rsink func(Record) error
+	if sink != nil {
+		rsink = func(rec Record) error {
+			sink(*rec.Session)
+			return nil
+		}
+	}
+	res := s.mustRun(ctx, Plan{
+		Kind: RunSession, Session: cfg.Kind, Seed: cfg.Seed,
+		// The legacy engine coerced non-positive epoch/shard values to
+		// its defaults where the Plan rejects negatives; clamp so old
+		// callers keep the old leniency.
+		Epochs: max(cfg.MaxEpochs, 0), Shards: max(cfg.Shards, 0),
+		Kernel: cfg.Kernel, Workers: workers, Log: cfg.Log,
+	}, rsink)
+	return res.Sessions
 }
 
 // ScalingReport measures within-session data-parallel scaling (epoch
 // wall-clock and speedup versus 1 shard) for every shardable benchmark
 // in bs at each shard count. Pass s.All() to sweep the whole suite.
+//
+// Deprecated: build a Plan{Kind: RunScaling, ShardSweep: shards}
+// instead; the Runner adds context cancellation and row persistence.
 func (s *Suite) ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []ScalingRow {
-	return core.ScalingReport(bs, shards, epochs, seed)
+	ids := make([]string, len(bs))
+	for i, b := range bs {
+		ids[i] = b.ID
+	}
+	res := s.mustRun(context.Background(), Plan{
+		Kind: RunScaling, Benchmarks: ids, ShardSweep: shards,
+		Epochs: max(epochs, 0), Seed: seed, // legacy leniency, as in RunAllScaledStream
+	}, nil)
+	return res.Scaling
 }
 
 // CharacterizeAll profiles every registered benchmark on the device
 // across a bounded worker pool (workers <= 0 means GOMAXPROCS),
 // returning results in registry order.
+//
+// Deprecated: build a Plan{Kind: RunCharacterize, Device: dev} instead;
+// the Runner adds context cancellation and record persistence.
 func (s *Suite) CharacterizeAll(dev Device, workers int) []Characterization {
-	return core.CharacterizeSuiteParallel(s.reg.All(), dev, workers)
+	res := s.mustRun(context.Background(), Plan{
+		Kind: RunCharacterize, Device: dev, Workers: workers,
+	}, nil)
+	return res.Characterizations
 }
 
 // DeriveSeed is the deterministic per-benchmark seed derivation
@@ -209,6 +322,71 @@ func (s *Suite) Report(name string, w io.Writer, dev Device, seed int64) bool {
 		return false
 	}
 	return true
+}
+
+// ResultWriter streams run records to an io.Writer as versioned JSONL
+// envelopes ({"v":1,"kind":…,"run":{…},"data":{…}}) that ReadResults
+// and `aibench-report -from` decode back. Writes are serialized, so
+// its Write method can back a Runner sink directly:
+//
+//	w := aibench.NewResultWriter(file, runner.Meta())
+//	res, err := runner.Run(ctx, w.Write)
+type ResultWriter struct {
+	w *results.Writer
+}
+
+// NewResultWriter wraps w; every envelope carries meta as its run
+// identity (Runner.Meta plus a caller-stamped start time).
+func NewResultWriter(w io.Writer, meta RunMeta) *ResultWriter {
+	return &ResultWriter{w: results.NewWriter(w, meta)}
+}
+
+// Write envelopes one record and appends it as a JSONL line.
+func (w *ResultWriter) Write(rec Record) error { return w.w.Write(rec) }
+
+// Count returns how many records have been written.
+func (w *ResultWriter) Count() int { return w.w.Count() }
+
+// ResultStream is a decoded JSONL result stream.
+type ResultStream struct {
+	// Records holds every decoded record in file order.
+	Records []Record
+	// Runs lists the distinct run identities seen, in first-seen order.
+	Runs []RunMeta
+	// Skipped counts records dropped for carrying an unknown envelope
+	// version or record kind — forward compatibility, not an error.
+	Skipped int
+}
+
+// ReadResults decodes a JSONL result stream: enveloped records of a
+// known version and kind, with unknown versions/kinds skipped and
+// pre-envelope bare SessionResult lines still accepted. Feed
+// ResultStream.Records to RenderRunReport to rebuild reports without
+// re-running anything.
+func ReadResults(r io.Reader) (*ResultStream, error) {
+	s, err := results.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultStream{Records: s.Records, Runs: s.Runs, Skipped: s.Skipped}, nil
+}
+
+// RunReportNames lists the run reports rebuildable from persisted
+// records ("sessions", "characterizations", "scaling", "replays").
+func RunReportNames() []string { return core.RunReportNames() }
+
+// RunReportKind maps a run-report name to the record kind it renders;
+// ok is false for unknown names.
+func RunReportKind(name string) (RecordKind, bool) { return core.RunReportKind(name) }
+
+// RenderRunReport renders one named run report ("sessions",
+// "characterizations", "scaling", "replays") from a record stream,
+// restoring canonical registry order first; it reports whether the
+// name was known. The live CLI and `aibench-report -from` both render
+// through this function, so a report rebuilt from persisted JSONL is
+// byte-identical to its live-run output.
+func RenderRunReport(name string, w io.Writer, recs []Record) bool {
+	return core.RenderRunRecords(name, w, recs)
 }
 
 // ReportNames lists every renderable table/figure name.

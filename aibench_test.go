@@ -2,6 +2,7 @@ package aibench_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -121,5 +122,92 @@ func TestSuiteCharacterize(t *testing.T) {
 func TestDevices(t *testing.T) {
 	if aibench.TitanRTX().PeakGFLOPs() <= aibench.TitanXP().PeakGFLOPs() {
 		t.Fatal("RTX should out-peak XP")
+	}
+}
+
+// TestPlanRunnerPublicAPI smoke-tests the unified execution API from
+// the public package: plan validation, a replay run, and the run-report
+// renderer shared with aibench-report.
+func TestPlanRunnerPublicAPI(t *testing.T) {
+	s := aibench.NewSuite()
+	if _, err := s.NewRunner(aibench.Plan{Benchmarks: []string{"nope"}}); err == nil {
+		t.Fatal("unknown benchmark id accepted")
+	}
+	if _, err := s.NewRunner(aibench.Plan{Kernel: "nope"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	runner, err := s.NewRunner(aibench.Plan{Kind: aibench.RunReplay, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta := runner.Meta(); meta.SuiteSHA == "" || meta.Kernel == "" {
+		t.Fatalf("run meta incomplete: %+v", meta)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replays) != 24 {
+		t.Fatalf("replayed %d sessions, want 24", len(res.Replays))
+	}
+	var buf bytes.Buffer
+	if !aibench.RenderRunReport("replays", &buf, res.Records()) {
+		t.Fatal("replays report unknown")
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 25 {
+		t.Fatalf("replay report has %d lines, want header + 24 rows", lines)
+	}
+	if aibench.RenderRunReport("hologram", &buf, nil) {
+		t.Fatal("unknown run report accepted")
+	}
+	for _, n := range aibench.RunReportNames() {
+		if _, ok := aibench.RunReportKind(n); !ok {
+			t.Errorf("RunReportKind does not know %q", n)
+		}
+	}
+}
+
+// TestDeprecatedFacadesKeepLegacyLeniency pins the migration promise:
+// the deprecated wrappers still coerce the non-positive epoch values
+// the old engines defaulted, instead of panicking through the Plan's
+// stricter validation.
+func TestDeprecatedFacadesKeepLegacyLeniency(t *testing.T) {
+	s := aibench.NewSuite()
+	res := s.ScalingReport([]*aibench.Benchmark{s.Benchmark("DC-AI-C15")}, []int{1}, -1, 42)
+	if len(res) != 1 || len(res[0].Points) != 1 {
+		t.Fatalf("ScalingReport with negative epochs = %+v, want the legacy default sweep", res)
+	}
+}
+
+// TestResultWriterRoundTripPublicAPI drives the public persistence
+// surface: Runner → NewResultWriter → ReadResults → RenderRunReport,
+// with the rebuilt report byte-identical to the live one.
+func TestResultWriterRoundTripPublicAPI(t *testing.T) {
+	s := aibench.NewSuite()
+	runner, err := s.NewRunner(aibench.Plan{Kind: aibench.RunReplay, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	w := aibench.NewResultWriter(&file, runner.Meta())
+	res, err := runner.Run(context.Background(), w.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 24 {
+		t.Fatalf("persisted %d records, want 24", w.Count())
+	}
+	stream, err := aibench.ReadResults(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Skipped != 0 || len(stream.Records) != 24 || len(stream.Runs) != 1 {
+		t.Fatalf("stream = %d records, %d runs, %d skipped", len(stream.Records), len(stream.Runs), stream.Skipped)
+	}
+	var live, rebuilt bytes.Buffer
+	aibench.RenderRunReport("replays", &live, res.Records())
+	aibench.RenderRunReport("replays", &rebuilt, stream.Records)
+	if live.String() != rebuilt.String() {
+		t.Fatalf("rebuilt report differs:\nlive:\n%s\nrebuilt:\n%s", live.String(), rebuilt.String())
 	}
 }

@@ -1,23 +1,87 @@
-// Command aibench-report regenerates every table and figure of the
-// paper's evaluation section in one pass, separated by headers — the
-// batch mode behind EXPERIMENTS.md.
+// Command aibench-report renders reports. By default it regenerates
+// every table and figure of the paper's evaluation section in one pass,
+// separated by headers — the batch mode behind EXPERIMENTS.md. With
+// -from it instead rebuilds run reports (sessions, characterizations,
+// scaling, replays) from a persisted JSONL result stream with zero
+// retraining: the records were already measured, so rebuilding is pure
+// decoding plus the same renderers the live CLI uses, and the output is
+// byte-identical to the live run's.
+//
+// Usage:
+//
+//	aibench-report                               # every paper table/figure
+//	aibench-report table5 figure4                # a subset of them
+//	aibench-report -from results.jsonl           # every run report in the file
+//	aibench-report -from results.jsonl sessions  # one run report, bare
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"aibench"
+	"aibench/internal/results"
 )
 
 func main() {
+	from := flag.String("from", "", "rebuild run reports from this persisted JSONL result stream instead of regenerating paper reports")
+	flag.Parse()
+	if *from != "" {
+		rebuild(*from, flag.Args())
+		return
+	}
 	suite := aibench.NewSuite()
-	for _, name := range aibench.ReportNames() {
+	names := flag.Args()
+	if len(names) == 0 {
+		names = aibench.ReportNames()
+	}
+	for _, name := range names {
 		fmt.Printf("==== %s ====\n", name)
 		if !suite.Report(name, os.Stdout, aibench.TitanXP(), 1) {
-			fmt.Fprintf(os.Stderr, "internal error: unknown report %q\n", name)
+			fmt.Fprintf(os.Stderr, "unknown report %q (have %v)\n", name, aibench.ReportNames())
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+}
+
+// rebuild renders run reports from a persisted stream. With no names it
+// renders every run report the stream has records for; a single
+// explicit name renders bare (no header), so rebuilt output can be
+// diffed directly against a live run's.
+func rebuild(path string, names []string) {
+	stream, err := results.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if stream.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "note: skipped %d records with an unknown envelope version or kind\n", stream.Skipped)
+	}
+	kinds := stream.Kinds()
+	if len(names) == 0 {
+		for _, n := range aibench.RunReportNames() {
+			if k, _ := aibench.RunReportKind(n); kinds[k] > 0 {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			fmt.Fprintf(os.Stderr, "%s holds no renderable records\n", path)
+			os.Exit(1)
+		}
+	}
+	headers := len(names) > 1
+	for _, n := range names {
+		if headers {
+			fmt.Printf("==== %s ====\n", n)
+		}
+		if !aibench.RenderRunReport(n, os.Stdout, stream.Records) {
+			fmt.Fprintf(os.Stderr, "unknown run report %q (have %v)\n", n, aibench.RunReportNames())
+			os.Exit(1)
+		}
+		if headers {
+			fmt.Println()
+		}
 	}
 }

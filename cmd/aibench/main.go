@@ -1,14 +1,19 @@
 // Command aibench is the suite CLI: list benchmarks, run scaled training
-// sessions, characterize workloads, select the subset, and render the
-// paper's tables and figures.
+// sessions, characterize workloads, sweep data-parallel scaling, replay
+// paper-scale sessions, select the subset, and render the paper's
+// tables and figures. Every run command builds an aibench.Plan,
+// validates it into a Runner, and executes it with SIGINT cancellation;
+// -out streams each record to a JSONL file as a versioned envelope that
+// `aibench-report -from` can rebuild reports from without re-running.
 //
 // Usage:
 //
 //	aibench list
-//	aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel naive|blocked]
+//	aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel naive|blocked] [-out results.jsonl]
 //	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K] [-out results.jsonl] [-v]
-//	aibench scaling [id] [-shards 1,2,4] [-epochs N] [-seed S] [-kernel K]
-//	aibench characterize <id|all> [-gpu xp|rtx] [-workers N]
+//	aibench scaling [id] [-shards 1,2,4] [-epochs N] [-seed S] [-kernel K] [-out results.jsonl]
+//	aibench characterize <id|all> [-gpu xp|rtx] [-workers N] [-out results.jsonl]
+//	aibench replay [id|all] [-seed S] [-out results.jsonl]
 //	aibench subset
 //	aibench costs
 //	aibench report <table1..table7|figure1a..figure7|all>
@@ -16,7 +21,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +51,8 @@ func main() {
 		cmdScaling(suite, os.Args[2:])
 	case "characterize":
 		cmdCharacterize(suite, os.Args[2:])
+	case "replay":
+		cmdReplay(suite, os.Args[2:])
 	case "subset":
 		cmdSubset(suite)
 	case "costs":
@@ -60,25 +66,21 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|subset|costs|report> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|replay|subset|costs|report> [args]")
 }
 
 // kernelFlag registers the -kernel flag shared by the training
-// commands. The returned apply func selects the kernel process-wide
-// (exiting on an unknown name) and must run after fs is parsed.
-func kernelFlag(fs *flag.FlagSet) (apply func()) {
+// commands; the value goes into Plan.Kernel, where NewRunner validates
+// it up front.
+func kernelFlag(fs *flag.FlagSet) *string {
 	names := strings.Join(aibench.KernelNames(), "|")
-	kernel := fs.String("kernel", "", "compute kernel ("+names+"; default: $"+
+	return fs.String("kernel", "", "compute kernel ("+names+"; default: $"+
 		"AIBENCH_KERNEL or blocked)")
-	return func() {
-		if *kernel == "" {
-			return
-		}
-		if err := aibench.UseKernels(*kernel); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-	}
+}
+
+// outFlag registers the -out flag shared by every run command.
+func outFlag(fs *flag.FlagSet) *string {
+	return fs.String("out", "", "stream each record to this JSONL file as a versioned envelope")
 }
 
 // parseWithID parses fs against args accepting the positional id before,
@@ -101,6 +103,62 @@ func parseWithID(fs *flag.FlagSet, args []string) string {
 	return id
 }
 
+// runPlan validates the plan, wires SIGINT cancellation and the
+// optional JSONL envelope stream, and executes it. Interrupting once
+// stops launching new work (running sessions stop at their next epoch
+// boundary) while partial results still reach the stream; a second
+// Ctrl-C force-quits because default signal handling is restored after
+// the first. Returns the run's results, how many records were
+// persisted, and the run error (a failed sink — a full disk, say — or
+// output-file close): callers render the partial results they have,
+// then pass it to exitOnRunError.
+func runPlan(s *aibench.Suite, p aibench.Plan, out string) (*aibench.RunResult, int, error) {
+	runner, err := s.NewRunner(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	var sink func(aibench.Record) error
+	var outFile *os.File
+	var w *aibench.ResultWriter
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		outFile = f
+		meta := runner.Meta()
+		meta.Started = time.Now().UTC().Format(time.RFC3339)
+		w = aibench.NewResultWriter(f, meta)
+		sink = w.Write
+	}
+
+	res, runErr := runner.Run(ctx, sink)
+	written := 0
+	if outFile != nil {
+		written = w.Count()
+		if err := outFile.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return res, written, runErr
+}
+
+// exitOnRunError reports a run error — persistence failed mid-run, so
+// it must not masquerade as success — after the caller has rendered
+// whatever partial results completed.
+func exitOnRunError(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func cmdList(s *aibench.Suite) {
 	fmt.Printf("%-12s %-8s %-30s %-36s %s\n", "ID", "Suite", "Task", "Algorithm", "Target")
 	for _, b := range s.All() {
@@ -116,18 +174,17 @@ func cmdList(s *aibench.Suite) {
 func cmdRun(s *aibench.Suite, args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	epochs := fs.Int("epochs", 150, "maximum epochs (entire) or exact epochs (quasi)")
-	seed := fs.Int64("seed", 42, "random seed")
+	seed := fs.Int64("seed", 42, "base seed; the session seed is derived deterministically")
 	quasi := fs.Bool("quasi", false, "run a quasi-entire session (fixed epochs)")
 	shards := fs.Int("shards", 0, "data-parallel shard workers (0 = serial; results are bitwise identical for any count)")
-	applyKernel := kernelFlag(fs)
+	kernel := kernelFlag(fs)
+	out := outFlag(fs)
 	id := parseWithID(fs, args)
 	if id == "" {
-		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K]")
+		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K] [-out F]")
 		os.Exit(2)
 	}
-	applyKernel()
-	b := s.Benchmark(id)
-	if b == nil {
+	if s.Benchmark(id) == nil {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try `aibench list`)\n", id)
 		os.Exit(1)
 	}
@@ -135,14 +192,25 @@ func cmdRun(s *aibench.Suite, args []string) {
 	if *quasi {
 		kind = aibench.QuasiEntireSession
 	}
-	res := b.RunScaledSession(aibench.SessionConfig{
-		Kind: kind, Seed: *seed, MaxEpochs: *epochs, Shards: *shards, Log: os.Stdout,
-	})
-	if res.FallbackReason != "" {
-		fmt.Printf("(%s ran serial: %s)\n", b.ID, res.FallbackReason)
+	res, written, runErr := runPlan(s, aibench.Plan{
+		Kind: aibench.RunSession, Benchmarks: []string{id}, Session: kind,
+		Seed: *seed, Epochs: *epochs, Shards: *shards, Kernel: *kernel, Log: os.Stdout,
+	}, *out)
+	if len(res.Sessions) == 0 || res.Sessions[0].ID == "" {
+		fmt.Println("interrupted before the session started")
+		exitOnRunError(runErr)
+		return
+	}
+	r := res.Sessions[0]
+	if r.FallbackReason != "" {
+		fmt.Printf("(%s ran serial: %s)\n", r.ID, r.FallbackReason)
 	}
 	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v shards=%d kernel=%s\n",
-		b.ID, res.Name, res.Epochs, res.FinalQuality, res.Target, res.ReachedGoal, res.Shards, res.Kernel)
+		r.ID, r.Name, r.Epochs, r.FinalQuality, r.Target, r.ReachedGoal, r.Shards, r.Kernel)
+	exitOnRunError(runErr)
+	if *out != "" {
+		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
+	}
 }
 
 func cmdRunAll(s *aibench.Suite, args []string) {
@@ -152,11 +220,10 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	seed := fs.Int64("seed", 42, "base seed; per-benchmark seeds are derived deterministically")
 	quasi := fs.Bool("quasi", false, "run quasi-entire sessions (fixed epochs)")
 	shards := fs.Int("shards", 0, "data-parallel shard workers per session (0 = serial)")
-	out := fs.String("out", "", "stream results to this JSONL file as sessions complete")
+	kernel := kernelFlag(fs)
+	out := outFlag(fs)
 	verbose := fs.Bool("v", false, "stream per-epoch progress from every session")
-	applyKernel := kernelFlag(fs)
 	fs.Parse(args)
-	applyKernel()
 	kind := aibench.EntireSession
 	if *quasi {
 		kind = aibench.QuasiEntireSession
@@ -165,48 +232,23 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
 	}
-	cfg := aibench.SessionConfig{Kind: kind, Seed: *seed, MaxEpochs: *epochs, Shards: *shards}
-	if *verbose {
-		cfg.Log = os.Stdout
+	plan := aibench.Plan{
+		Kind: aibench.RunSession, Session: kind, Seed: *seed, Epochs: *epochs,
+		Shards: *shards, Kernel: *kernel, Workers: *workers,
 	}
-
-	// Interrupting a long run stops launching new sessions; sessions
-	// already running finish and still reach the JSONL stream. Once the
-	// first interrupt lands, default signal handling is restored so a
-	// second Ctrl-C force-quits instead of being swallowed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	context.AfterFunc(ctx, stop)
-
-	var sink func(aibench.SessionResult)
-	var outFile *os.File
-	var sinkErr error
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", *out, err)
-			os.Exit(1)
-		}
-		outFile = f
-		enc := json.NewEncoder(f)
-		sink = func(r aibench.SessionResult) {
-			// Calls are serialized by the suite engine; keep the first
-			// write error so a full disk can't masquerade as success.
-			if err := enc.Encode(r); err != nil && sinkErr == nil {
-				sinkErr = err
-			}
-		}
+	if *verbose {
+		plan.Log = os.Stdout
 	}
 
 	start := time.Now()
-	results := s.RunAllScaledStream(ctx, cfg, width, sink)
+	res, written, runErr := runPlan(s, plan, *out)
 	elapsed := time.Since(start)
 	if *verbose {
 		fmt.Println()
 	}
-	fmt.Printf("%-12s %-34s %7s %7s %9s %9s %s\n", "ID", "Name", "Epochs", "Shards", "Quality", "Target", "Reached")
+	aibench.RenderRunReport("sessions", os.Stdout, res.Records())
 	reached, ran := 0, 0
-	for _, r := range results {
+	for _, r := range res.Sessions {
 		if r.ID == "" {
 			continue // session never launched (run interrupted)
 		}
@@ -214,23 +256,15 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 		if r.ReachedGoal {
 			reached++
 		}
-		fmt.Printf("%-12s %-34s %7d %7d %9.4f %9.4f %v\n",
-			r.ID, r.Name, r.Epochs, r.Shards, r.FinalQuality, r.Target, r.ReachedGoal)
 	}
 	fmt.Printf("\n%d/%d sessions reached their target in %s (workers=%d kernel=%s)\n",
 		reached, ran, elapsed.Round(time.Millisecond), width, aibench.ActiveKernel())
-	if ran < len(results) {
-		fmt.Printf("interrupted: %d sessions never launched\n", len(results)-ran)
+	if ran < len(res.Sessions) {
+		fmt.Printf("interrupted: %d sessions never launched\n", len(res.Sessions)-ran)
 	}
-	if outFile != nil {
-		if err := outFile.Close(); err != nil && sinkErr == nil {
-			sinkErr = err
-		}
-		if sinkErr != nil {
-			fmt.Fprintf(os.Stderr, "error writing %s: %v\n", *out, sinkErr)
-			os.Exit(1)
-		}
-		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, ran)
+	exitOnRunError(runErr)
+	if *out != "" {
+		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
 	}
 }
 
@@ -241,9 +275,9 @@ func cmdScaling(s *aibench.Suite, args []string) {
 	shardsCSV := fs.String("shards", "1,2,4", "comma-separated shard counts to measure")
 	epochs := fs.Int("epochs", 2, "epochs to time per point")
 	seed := fs.Int64("seed", 42, "base seed")
-	applyKernel := kernelFlag(fs)
+	kernel := kernelFlag(fs)
+	out := outFlag(fs)
 	id := parseWithID(fs, args)
-	applyKernel()
 	var shards []int
 	for _, tok := range strings.Split(*shardsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -253,7 +287,7 @@ func cmdScaling(s *aibench.Suite, args []string) {
 		}
 		shards = append(shards, n)
 	}
-	bs := s.All()
+	var ids []string
 	if id != "" {
 		b := s.Benchmark(id)
 		if b == nil {
@@ -264,54 +298,62 @@ func cmdScaling(s *aibench.Suite, args []string) {
 			fmt.Fprintf(os.Stderr, "%s has no shardable train step\n", id)
 			os.Exit(1)
 		}
-		bs = []*aibench.Benchmark{b}
+		ids = []string{id}
 	}
-	rows := s.ScalingReport(bs, shards, *epochs, *seed)
-	if len(rows) == 0 {
+	res, written, runErr := runPlan(s, aibench.Plan{
+		Kind: aibench.RunScaling, Benchmarks: ids, ShardSweep: shards,
+		Epochs: *epochs, Seed: *seed, Kernel: *kernel,
+	}, *out)
+	if len(res.Scaling) == 0 {
 		fmt.Println("no shardable benchmarks selected")
+		exitOnRunError(runErr)
 		return
 	}
-	fmt.Printf("%-12s %-24s %8s %12s %9s\n", "ID", "Name", "Shards", "Sec/Epoch", "Speedup")
-	for _, row := range rows {
-		for i, p := range row.Points {
-			id, name := row.ID, row.Name
-			if i > 0 {
-				id, name = "", ""
-			}
-			fmt.Printf("%-12s %-24s %8d %12.4f %8.2fx\n", id, name, p.Shards, p.SecPerEpoch, p.Speedup)
-		}
-	}
+	aibench.RenderRunReport("scaling", os.Stdout, res.Records())
 	fmt.Println("\n(identical losses at every shard count; speedup is pure scheduling gain)")
+	exitOnRunError(runErr)
+	if *out != "" {
+		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
+	}
 }
 
 func cmdCharacterize(s *aibench.Suite, args []string) {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	gpu := fs.String("gpu", "xp", "device: xp (Titan XP) or rtx (Titan RTX)")
 	workers := fs.Int("workers", 0, "pool width for `characterize all` (0 = GOMAXPROCS)")
+	out := outFlag(fs)
 	id := parseWithID(fs, args)
 	if id == "" {
-		fmt.Fprintln(os.Stderr, "usage: aibench characterize <id|all> [-gpu xp|rtx] [-workers N]")
+		fmt.Fprintln(os.Stderr, "usage: aibench characterize <id|all> [-gpu xp|rtx] [-workers N] [-out F]")
 		os.Exit(2)
 	}
 	dev := aibench.TitanXP()
 	if *gpu == "rtx" {
 		dev = aibench.TitanRTX()
 	}
+	plan := aibench.Plan{Kind: aibench.RunCharacterize, Device: dev, Workers: *workers}
+	if id != "all" {
+		if s.Benchmark(id) == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", id)
+			os.Exit(1)
+		}
+		plan.Benchmarks = []string{id}
+	}
+	res, written, runErr := runPlan(s, plan, *out)
 	if id == "all" {
-		fmt.Printf("%-12s %-28s %12s %10s %8s %6s %6s\n", "ID", "Task", "MFLOPs", "MParams", "Epochs", "Occ", "IPC")
-		for _, c := range s.CharacterizeAll(dev, *workers) {
-			fmt.Printf("%-12s %-28s %12.2f %10.2f %8.1f %6.3f %6.3f\n",
-				c.ID, c.Task, c.MFLOPs, c.MParams, c.Epochs,
-				c.Metrics.AchievedOccupancy, c.Metrics.IPCEfficiency)
+		aibench.RenderRunReport("characterizations", os.Stdout, res.Records())
+		exitOnRunError(runErr)
+		if *out != "" {
+			fmt.Printf("\nresults streamed to %s (%d JSONL lines)\n", *out, written)
 		}
 		return
 	}
-	b := s.Benchmark(id)
-	if b == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", id)
-		os.Exit(1)
+	if len(res.Characterizations) == 0 || res.Characterizations[0].ID == "" {
+		fmt.Println("interrupted before the characterization started")
+		exitOnRunError(runErr)
+		return
 	}
-	c := b.Characterize(dev)
+	c := res.Characterizations[0]
 	fmt.Printf("%s — %s on %s\n", c.ID, c.Task, dev.Name)
 	fmt.Printf("  forward FLOPs: %.2f M   params: %.2f M   epochs-to-quality: %.1f\n", c.MFLOPs, c.MParams, c.Epochs)
 	fmt.Printf("  occupancy=%.3f ipc=%.3f gld=%.3f gst=%.3f dram=%.3f\n",
@@ -343,6 +385,41 @@ func cmdCharacterize(s *aibench.Suite, args []string) {
 			break
 		}
 		fmt.Printf("    %-55s %5.1f%% (%d calls)\n", h.Name, h.Share*100, h.Calls)
+	}
+	exitOnRunError(runErr)
+	if *out != "" {
+		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
+	}
+}
+
+// cmdReplay simulates entire paper-scale sessions from the calibrated
+// convergence distributions and the Table 6 cost model — the
+// methodology's fast path for purchasing decisions.
+func cmdReplay(s *aibench.Suite, args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "base seed; per-benchmark seeds are derived deterministically")
+	out := outFlag(fs)
+	id := parseWithID(fs, args)
+	var ids []string
+	if id != "" && id != "all" {
+		if s.Benchmark(id) == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", id)
+			os.Exit(1)
+		}
+		ids = []string{id}
+	}
+	res, written, runErr := runPlan(s, aibench.Plan{
+		Kind: aibench.RunReplay, Benchmarks: ids, Seed: *seed,
+	}, *out)
+	aibench.RenderRunReport("replays", os.Stdout, res.Records())
+	total := 0.0
+	for _, r := range res.Replays {
+		total += r.Hours
+	}
+	fmt.Printf("\ntotal replayed cost: %.2f h over %d sessions\n", total, len(res.Replays))
+	exitOnRunError(runErr)
+	if *out != "" {
+		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
 	}
 }
 

@@ -1,12 +1,14 @@
 // Workload characterization example: the early-design-stage use case the
-// paper's methodology motivates. It profiles three architecturally
-// distinct benchmarks on the simulated TITAN XP and prints their model
-// characteristics, micro-architectural radar, runtime breakdown, and
-// hotspot functions side by side.
+// paper's methodology motivates. A single Plan profiles three
+// architecturally distinct benchmarks on the simulated TITAN XP, then
+// prints their model characteristics, micro-architectural radar,
+// runtime breakdown, and hotspot functions side by side.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"aibench"
 )
@@ -16,9 +18,23 @@ func main() {
 	dev := aibench.TitanXP()
 	ids := []string{"DC-AI-C1", "DC-AI-C6", "DC-AI-C16"} // CNN vs RNN vs embedding-MLP
 
+	runner, err := suite.NewRunner(aibench.Plan{
+		Kind:       aibench.RunCharacterize,
+		Benchmarks: ids,
+		Device:     dev,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("Workload characterization on %s\n\n", dev.Name)
-	for _, id := range ids {
-		c := suite.Characterize(id, dev)
+	for _, c := range res.Characterizations {
 		fmt.Printf("== %s — %s ==\n", c.ID, c.Task)
 		fmt.Printf("  model: %.1f M-FLOPs/sample, %.2f M params, ~%.0f epochs to quality\n",
 			c.MFLOPs, c.MParams, c.Epochs)

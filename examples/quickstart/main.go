@@ -1,10 +1,11 @@
-// Quickstart: run an entire scaled training session of the AIBench
-// subset's cheapest member (Learning to Rank) and of Image
-// Classification, then print the session summaries — the minimal
-// end-to-end tour of the public API.
+// Quickstart: declare a Plan, validate it into a Runner, and run entire
+// scaled training sessions of the AIBench subset's cheapest member
+// (Learning to Rank) and of Image Classification — the minimal
+// end-to-end tour of the unified execution API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -16,22 +17,36 @@ func main() {
 
 	fmt.Println("AIBench Training quickstart: scaled entire training sessions")
 	fmt.Println()
-	for _, id := range []string{"DC-AI-C16", "DC-AI-C1"} {
-		b := suite.Benchmark(id)
+
+	// One Plan runs any selection of benchmarks through one engine;
+	// NewRunner validates ids, kernel, and shape up front.
+	runner, err := suite.NewRunner(aibench.Plan{
+		Kind:       aibench.RunSession,
+		Benchmarks: []string{"DC-AI-C16", "DC-AI-C1"},
+		Session:    aibench.EntireSession,
+		Seed:       42,
+		Epochs:     80,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range res.Sessions {
+		b := suite.Benchmark(r.ID)
 		fmt.Printf("== %s: %s (%s on %s) ==\n", b.ID, b.Task, b.Algorithm, b.Dataset)
-		res := b.RunScaledSession(aibench.SessionConfig{
-			Kind:      aibench.EntireSession,
-			Seed:      42,
-			MaxEpochs: 80,
-		})
 		status := "converged"
-		if !res.ReachedGoal {
+		if !r.ReachedGoal {
 			status = "did not converge"
 		}
 		fmt.Printf("  %s after %d epochs: quality %.4f (target %.4f)\n",
-			status, res.Epochs, res.FinalQuality, res.Target)
+			status, r.Epochs, r.FinalQuality, r.Target)
 		fmt.Printf("  first-epoch loss %.4f -> last-epoch loss %.4f\n\n",
-			res.Losses[0], res.Losses[len(res.Losses)-1])
+			r.Losses[0], r.Losses[len(r.Losses)-1])
 	}
 
 	// The same API drives the methodology-level queries.

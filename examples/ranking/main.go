@@ -6,7 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"aibench"
 	"aibench/internal/gpusim"
@@ -48,4 +50,27 @@ func main() {
 		fmt.Printf("  %-11s RTX speedup %.2fx\n", b.ID, r)
 	}
 	fmt.Printf("%d/17 benchmarks agree with the subset verdict\n", agree)
+
+	// The unified Plan/Runner API replays entire paper-scale sessions
+	// (calibrated epochs-to-quality × the Table 6 cost model) in
+	// milliseconds — the repeatable artifact behind a purchase report,
+	// persistable as JSONL and rebuildable with `aibench-report -from`.
+	ids := make([]string, 0, 3)
+	for _, b := range suite.Subset() {
+		ids = append(ids, b.ID)
+	}
+	runner, err := suite.NewRunner(aibench.Plan{Kind: aibench.RunReplay, Benchmarks: ids, Seed: 7})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nreplayed entire sessions of the subset (unified Plan/Runner API):")
+	for _, r := range res.Replays {
+		fmt.Printf("  %-11s %6.1f epochs -> %7.2f h\n", r.ID, r.Epochs, r.Hours)
+	}
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -53,4 +54,27 @@ func main() {
 	c := suite.Costs()
 	fmt.Printf("\ncost: subset %.0f h vs full %.0f h (%.0f%% saved; paper 41%%)\n",
 		c.SubsetHours, c.AIBenchFullHours, c.SubsetVsAIBench*100)
+
+	// Cross-check the cost table against replayed entire sessions of
+	// the chosen subset through the unified Plan/Runner API: summed
+	// replay hours should land near the analytic subset cost.
+	ids := make([]string, len(chosen))
+	for i, b := range chosen {
+		ids[i] = b.ID
+	}
+	runner, err := suite.NewRunner(aibench.Plan{Kind: aibench.RunReplay, Benchmarks: ids, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	replayed, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	total := 0.0
+	for _, r := range replayed.Replays {
+		total += r.Hours
+	}
+	fmt.Printf("replayed subset sessions: %.0f h (analytic table: %.0f h)\n", total, c.SubsetHours)
 }

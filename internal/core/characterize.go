@@ -11,16 +11,16 @@ import (
 // micro-architectural behaviour from the GPU simulator (Fig 1b / 3 / 5 /
 // 6 / 7, Table 7).
 type Characterization struct {
-	ID       string
-	Suite    string
-	Task     string
-	MFLOPs   float64 // forward FLOPs per sample, in M-FLOPs
-	MParams  float64 // learnable parameters, in millions
-	Epochs   float64 // epochs to convergent quality
-	Metrics  gpusim.Metrics
-	Shares   map[gpusim.Category]float64
-	Hotspots []gpusim.Hotspot
-	Stalls   map[gpusim.Category]gpusim.StallBreakdown
+	ID       string                                    `json:"id"`
+	Suite    string                                    `json:"suite"`
+	Task     string                                    `json:"task"`
+	MFLOPs   float64                                   `json:"mflops"`  // forward FLOPs per sample, in M-FLOPs
+	MParams  float64                                   `json:"mparams"` // learnable parameters, in millions
+	Epochs   float64                                   `json:"epochs"`  // epochs to convergent quality
+	Metrics  gpusim.Metrics                            `json:"metrics"`
+	Shares   map[gpusim.Category]float64               `json:"shares"`
+	Hotspots []gpusim.Hotspot                          `json:"hotspots"`
+	Stalls   map[gpusim.Category]gpusim.StallBreakdown `json:"stalls"`
 }
 
 // Characterize runs the benchmark's paper-scale architecture through the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"sync"
@@ -53,28 +54,66 @@ func RunSuiteScaled(bs []*Benchmark, cfg SessionConfig, workers int) []SessionRe
 // scheduler-dependent, result contents are not), so long runs can
 // persist partial results as they arrive. Once ctx is cancelled — or
 // any session panics — no new session launches; sessions already
-// running finish and are still delivered. Slots for sessions that
-// never launched are zero-valued (empty ID) in the returned slice.
+// running stop at their next epoch boundary (Interrupted set) and are
+// still delivered. Slots for sessions that never launched are
+// zero-valued (empty ID) in the returned slice.
 func RunSuiteScaledStream(ctx context.Context, bs []*Benchmark, cfg SessionConfig, workers int, sink func(SessionResult)) []SessionResult {
+	var s func(SessionResult) error
+	if sink != nil {
+		s = func(r SessionResult) error { sink(r); return nil }
+	}
+	out, err := runSuiteSessions(ctx, bs, cfg, workers, s)
+	if err != nil {
+		// The adapted sink never fails, so the only error source is the
+		// per-session kernel validation — the legacy panic contract.
+		panic(fmt.Sprintf("core: SessionConfig.Kernel: %v", err))
+	}
+	return out
+}
+
+// runSuiteSessions is the suite-level session engine behind the stream
+// facade and the Plan Runner: each benchmark trains with its derived
+// seed under the shared context, and sink errors (a full disk while
+// persisting, say) cancel the remaining sessions and surface as the
+// returned error rather than vanishing.
+func runSuiteSessions(ctx context.Context, bs []*Benchmark, cfg SessionConfig, workers int, sink func(SessionResult) error) ([]SessionResult, error) {
 	base := cfg
 	if cfg.Log != nil {
 		base.Log = &syncWriter{w: cfg.Log}
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([]SessionResult, len(bs))
 	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	pool := parallel.New(workers)
 	pool.ForEachCtx(ctx, len(bs), func(i int) {
 		c := base
 		c.Seed = DeriveSeed(cfg.Seed, bs[i].ID)
-		r := bs[i].RunScaledSession(c)
+		r, err := bs[i].runSession(ctx, c)
+		if err != nil {
+			fail(err)
+			return
+		}
 		out[i] = r
 		if sink != nil {
 			mu.Lock()
-			sink(r)
+			err := sink(r)
 			mu.Unlock()
+			if err != nil {
+				fail(err)
+			}
 		}
 	})
-	return out
+	return out, firstErr
 }
 
 // CharacterizeSuiteParallel characterizes bs on dev across a bounded
@@ -82,8 +121,41 @@ func RunSuiteScaledStream(ctx context.Context, bs []*Benchmark, cfg SessionConfi
 // order. Characterization is analytic and per-benchmark independent,
 // so the parallel run is exactly CharacterizeSuite, faster.
 func CharacterizeSuiteParallel(bs []*Benchmark, dev gpusim.Device, workers int) []Characterization {
+	out, _ := characterizeSuite(context.Background(), bs, dev, workers, nil)
+	return out
+}
+
+// characterizeSuite is the pooled characterization engine behind
+// CharacterizeSuiteParallel and the Plan Runner: results stay in bs
+// order (cancelled slots zero-valued), each completed characterization
+// streams through sink, and a sink error cancels the remaining work
+// and is returned.
+func characterizeSuite(ctx context.Context, bs []*Benchmark, dev gpusim.Device, workers int, sink func(Characterization) error) ([]Characterization, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]Characterization, len(bs))
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	pool := parallel.New(workers)
-	return parallel.Map(pool, bs, func(i int, b *Benchmark) Characterization {
-		return b.Characterize(dev)
+	pool.ForEachCtx(ctx, len(bs), func(i int) {
+		c := bs[i].Characterize(dev)
+		out[i] = c
+		if sink != nil {
+			mu.Lock()
+			err := sink(c)
+			mu.Unlock()
+			if err != nil {
+				fail(err)
+			}
+		}
 	})
+	return out, firstErr
 }

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"aibench/internal/gpusim"
+	"aibench/internal/tensor"
+)
+
+// RunKind selects what executing a Plan means: the methodology's four
+// run shapes share one engine instead of one ad-hoc entry point each.
+type RunKind int
+
+// The four run kinds a Plan can execute.
+const (
+	// RunSession trains real scaled sessions (entire or quasi-entire)
+	// of the selected benchmarks.
+	RunSession RunKind = iota
+	// RunCharacterize profiles the paper-scale architectures on the
+	// simulated device.
+	RunCharacterize
+	// RunScaling sweeps data-parallel shard counts and measures
+	// wall-clock per epoch against the 1-shard baseline.
+	RunScaling
+	// RunReplay simulates entire paper-scale sessions from the
+	// calibrated convergence distributions and the Table 6 cost model.
+	RunReplay
+)
+
+// String names the run kind for error messages and run listings.
+// (Persisted envelopes are tagged per record with RecordKind, which
+// names the characterize kind's records "characterization".)
+func (k RunKind) String() string {
+	switch k {
+	case RunSession:
+		return "session"
+	case RunCharacterize:
+		return "characterize"
+	case RunScaling:
+		return "scaling"
+	case RunReplay:
+		return "replay"
+	}
+	return fmt.Sprintf("RunKind(%d)", int(k))
+}
+
+// Plan declares what to run; NewRunner validates it up front — unknown
+// benchmark ids, unknown kernels, and malformed sweeps are errors at
+// build time, never panics mid-run — and every kind executes through
+// the same context-aware engine with the same record sink.
+type Plan struct {
+	// Kind selects the run shape (sessions by default).
+	Kind RunKind
+	// Benchmarks selects by id (e.g. "DC-AI-C9"); empty selects every
+	// registered benchmark.
+	Benchmarks []string
+	// Session distinguishes entire from quasi-entire training sessions
+	// (RunSession only).
+	Session SessionKind
+	// Seed is the base seed; per-benchmark seeds are derived through
+	// DeriveSeed, so results are independent of scheduling.
+	Seed int64
+	// Epochs caps an entire session, fixes a quasi-entire session, and
+	// sets the epochs timed per scaling point (0 keeps each engine's
+	// default).
+	Epochs int
+	// Shards is the data-parallel width of each training session
+	// (RunSession; 0 = serial).
+	Shards int
+	// ShardSweep lists the shard counts a scaling run measures
+	// (RunScaling; empty = 1,2,4).
+	ShardSweep []int
+	// Kernel selects the compute kernel for the run; empty keeps the
+	// active one. Validated at build time; applied once at Run start,
+	// and only when it differs from the active kernel.
+	Kernel string
+	// Workers bounds the suite-level pool for sessions and
+	// characterizations (<= 0 = GOMAXPROCS).
+	Workers int
+	// Device is the simulated GPU for characterizations (zero value =
+	// TITAN XP, the paper's characterization device).
+	Device gpusim.Device
+	// Log receives per-epoch progress lines from training sessions.
+	Log io.Writer
+}
+
+// RunMeta identifies the run that produced a persisted record: the
+// envelope's "run" object.
+type RunMeta struct {
+	// SuiteSHA fingerprints the benchmark roster (Registry.SHA), so a
+	// replayed stream can be matched to the suite revision that wrote it.
+	SuiteSHA string `json:"suite_sha"`
+	Seed     int64  `json:"seed"`
+	Kernel   string `json:"kernel"`
+	Shards   int    `json:"shards"`
+	// Started is the wall-clock start of the run in RFC 3339, stamped
+	// by the caller that opens the stream (empty in library use).
+	Started string `json:"started,omitempty"`
+}
+
+// RecordKind tags a Record's payload; the envelope's "kind" field.
+type RecordKind string
+
+// The persisted record kinds.
+const (
+	KindSession          RecordKind = "session"
+	KindCharacterization RecordKind = "characterization"
+	KindScaling          RecordKind = "scaling"
+	KindReplay           RecordKind = "replay"
+)
+
+// Record is the typed union every run kind emits through the sink:
+// exactly one payload field matching Kind is set.
+type Record struct {
+	Kind             RecordKind
+	Session          *SessionResult
+	Characterization *Characterization
+	Scaling          *ScalingRow
+	Replay           *ReplaySession
+}
+
+// Payload returns the record's typed data for encoding; nil when the
+// field matching Kind is unset.
+func (r Record) Payload() any {
+	switch r.Kind {
+	case KindSession:
+		if r.Session != nil {
+			return r.Session
+		}
+	case KindCharacterization:
+		if r.Characterization != nil {
+			return r.Characterization
+		}
+	case KindScaling:
+		if r.Scaling != nil {
+			return r.Scaling
+		}
+	case KindReplay:
+		if r.Replay != nil {
+			return r.Replay
+		}
+	}
+	return nil
+}
+
+// RunResult collects a run's records; only the slice matching the
+// plan's kind is populated. Session and characterization slots align
+// with the plan's benchmark order, so a cancelled run leaves
+// zero-valued (empty-ID) slots for work that never launched.
+type RunResult struct {
+	Kind              RunKind
+	Sessions          []SessionResult
+	Characterizations []Characterization
+	Scaling           []ScalingRow
+	Replays           []ReplaySession
+}
+
+// Records flattens the result into sink-shaped records, skipping
+// zero-valued slots of sessions that never launched.
+func (r *RunResult) Records() []Record {
+	var out []Record
+	for i := range r.Sessions {
+		if r.Sessions[i].ID != "" {
+			out = append(out, Record{Kind: KindSession, Session: &r.Sessions[i]})
+		}
+	}
+	for i := range r.Characterizations {
+		if r.Characterizations[i].ID != "" {
+			out = append(out, Record{Kind: KindCharacterization, Characterization: &r.Characterizations[i]})
+		}
+	}
+	for i := range r.Scaling {
+		out = append(out, Record{Kind: KindScaling, Scaling: &r.Scaling[i]})
+	}
+	for i := range r.Replays {
+		out = append(out, Record{Kind: KindReplay, Replay: &r.Replays[i]})
+	}
+	return out
+}
+
+// Runner executes a validated Plan. Build one with NewRunner.
+type Runner struct {
+	plan Plan
+	reg  *Registry
+	bs   []*Benchmark
+}
+
+// NewRunner validates the plan against the registry and returns the
+// runner, or an error naming exactly what is wrong — unknown benchmark
+// ids, an unknown kernel, an out-of-range kind, or a malformed shard
+// sweep. Nothing global is touched until Run.
+func NewRunner(reg *Registry, p Plan) (*Runner, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("core: NewRunner: nil registry")
+	}
+	switch p.Kind {
+	case RunSession, RunCharacterize, RunScaling, RunReplay:
+	default:
+		return nil, fmt.Errorf("core: Plan.Kind %d is not a run kind", int(p.Kind))
+	}
+	if p.Kind == RunSession {
+		switch p.Session {
+		case EntireSession, QuasiEntireSession:
+		default:
+			return nil, fmt.Errorf("core: Plan.Session %d is not a session kind", int(p.Session))
+		}
+	}
+	var bs []*Benchmark
+	if len(p.Benchmarks) == 0 {
+		bs = reg.All()
+	} else {
+		for _, id := range p.Benchmarks {
+			b := reg.ByID(id)
+			if b == nil {
+				return nil, fmt.Errorf("core: Plan.Benchmarks: unknown benchmark %q", id)
+			}
+			bs = append(bs, b)
+		}
+	}
+	if p.Kernel != "" {
+		known := false
+		for _, n := range tensor.KernelNames() {
+			known = known || n == p.Kernel
+		}
+		if !known {
+			return nil, fmt.Errorf("core: Plan.Kernel: unknown compute kernel %q (have %v)", p.Kernel, tensor.KernelNames())
+		}
+	}
+	if p.Shards < 0 {
+		return nil, fmt.Errorf("core: Plan.Shards: %d < 0", p.Shards)
+	}
+	if p.Epochs < 0 {
+		return nil, fmt.Errorf("core: Plan.Epochs: %d < 0", p.Epochs)
+	}
+	if p.Kind == RunScaling {
+		if len(p.ShardSweep) == 0 {
+			p.ShardSweep = []int{1, 2, 4}
+		}
+		for _, n := range p.ShardSweep {
+			if n < 1 {
+				return nil, fmt.Errorf("core: Plan.ShardSweep: shard count %d < 1", n)
+			}
+		}
+	}
+	if p.Device.Name == "" {
+		p.Device = gpusim.TitanXP()
+	}
+	return &Runner{plan: p, reg: reg, bs: bs}, nil
+}
+
+// Plan returns the validated plan (defaults filled in).
+func (r *Runner) Plan() Plan { return r.plan }
+
+// Benchmarks returns the resolved benchmark selection in plan order.
+func (r *Runner) Benchmarks() []*Benchmark {
+	return append([]*Benchmark(nil), r.bs...)
+}
+
+// Meta describes the run for result envelopes. The kernel is the one
+// the run will dispatch to (the plan's, or the active one when the plan
+// leaves it unset); Started is left to the caller that opens a stream.
+func (r *Runner) Meta() RunMeta {
+	kernel := r.plan.Kernel
+	if kernel == "" {
+		kernel = tensor.ActiveKernels().Name()
+	}
+	return RunMeta{
+		SuiteSHA: r.reg.SHA(),
+		Seed:     r.plan.Seed,
+		Kernel:   kernel,
+		Shards:   r.plan.Shards,
+	}
+}
+
+// Run executes the plan under ctx. Every produced record is delivered
+// to sink (serialized calls, completion order) as it completes, so long
+// runs persist partial results; a sink error cancels the remaining work
+// and is returned. Cancelling ctx stops cleanly — no new work launches,
+// running sessions stop at their next epoch boundary — and is not an
+// error: the partial RunResult is returned with zero-valued slots for
+// work that never ran. A nil sink just collects.
+func (r *Runner) Run(ctx context.Context, sink func(Record) error) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k := r.plan.Kernel; k != "" && k != tensor.ActiveKernels().Name() {
+		if err := tensor.UseKernels(k); err != nil {
+			return nil, err
+		}
+	}
+	res := &RunResult{Kind: r.plan.Kind}
+	switch r.plan.Kind {
+	case RunSession:
+		cfg := SessionConfig{
+			Kind: r.plan.Session, Seed: r.plan.Seed, MaxEpochs: r.plan.Epochs,
+			Shards: r.plan.Shards, Log: r.plan.Log,
+		}
+		var s func(SessionResult) error
+		if sink != nil {
+			s = func(sr SessionResult) error {
+				return sink(Record{Kind: KindSession, Session: &sr})
+			}
+		}
+		out, err := runSuiteSessions(ctx, r.bs, cfg, r.plan.Workers, s)
+		res.Sessions = out
+		return res, err
+
+	case RunCharacterize:
+		var s func(Characterization) error
+		if sink != nil {
+			s = func(c Characterization) error {
+				return sink(Record{Kind: KindCharacterization, Characterization: &c})
+			}
+		}
+		out, err := characterizeSuite(ctx, r.bs, r.plan.Device, r.plan.Workers, s)
+		res.Characterizations = out
+		return res, err
+
+	case RunScaling:
+		var s func(ScalingRow) error
+		if sink != nil {
+			s = func(row ScalingRow) error {
+				return sink(Record{Kind: KindScaling, Scaling: &row})
+			}
+		}
+		rows, err := scalingReport(ctx, r.bs, r.plan.ShardSweep, r.plan.Epochs, r.plan.Seed, s)
+		res.Scaling = rows
+		return res, err
+
+	case RunReplay:
+		for _, b := range r.bs {
+			if ctx.Err() != nil {
+				break
+			}
+			rs := b.RunReplaySession(DeriveSeed(r.plan.Seed, b.ID))
+			res.Replays = append(res.Replays, rs)
+			if sink != nil {
+				if err := sink(Record{Kind: KindReplay, Replay: &rs}); err != nil {
+					return res, err
+				}
+			}
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: unreachable run kind %v", r.plan.Kind) // NewRunner validated Kind
+}

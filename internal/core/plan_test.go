@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"aibench/internal/tensor"
+)
+
+// TestNewRunnerValidation pins the build-time contract: every malformed
+// plan is an error naming the problem, never a panic later.
+func TestNewRunnerValidation(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		name string
+		p    Plan
+		want string
+	}{
+		{"unknown benchmark", Plan{Benchmarks: []string{"DC-AI-C99"}}, "unknown benchmark"},
+		{"unknown kernel", Plan{Kernel: "vectorized-fantasy"}, "unknown compute kernel"},
+		{"bad kind", Plan{Kind: RunKind(42)}, "not a run kind"},
+		{"bad session kind", Plan{Kind: RunSession, Session: SessionKind(7)}, "not a session kind"},
+		{"bad sweep", Plan{Kind: RunScaling, ShardSweep: []int{1, 0}}, "shard count 0"},
+		{"negative shards", Plan{Shards: -1}, "Plan.Shards"},
+		{"negative epochs", Plan{Epochs: -5}, "Plan.Epochs"},
+	}
+	for _, c := range cases {
+		if _, err := NewRunner(r, c.p); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	if _, err := NewRunner(nil, Plan{}); err == nil {
+		t.Error("nil registry accepted")
+	}
+
+	// Defaults: empty selection resolves to the whole suite, an empty
+	// scaling sweep to 1,2,4, and the zero device to the TITAN XP.
+	runner, err := NewRunner(r, Plan{Kind: RunScaling})
+	if err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if got := len(runner.Benchmarks()); got != 24 {
+		t.Errorf("empty selection resolved to %d benchmarks, want 24", got)
+	}
+	p := runner.Plan()
+	if len(p.ShardSweep) != 3 || p.ShardSweep[0] != 1 || p.ShardSweep[2] != 4 {
+		t.Errorf("default sweep %v, want [1 2 4]", p.ShardSweep)
+	}
+	if p.Device.Name == "" {
+		t.Error("device default not filled")
+	}
+}
+
+// TestRunnerSessionsMatchLegacySuiteRun pins the migration guarantee:
+// a Plan session run is bitwise identical to the deprecated
+// RunSuiteScaled facade over the same benchmarks, seeds included.
+func TestRunnerSessionsMatchLegacySuiteRun(t *testing.T) {
+	reg := NewRegistry()
+	ids := []string{"DC-AI-C15", "DC-AI-C16"}
+	bs := []*Benchmark{reg.ByID(ids[0]), reg.ByID(ids[1])}
+	cfg := SessionConfig{Kind: QuasiEntireSession, MaxEpochs: 1, Seed: 42}
+	legacy := RunSuiteScaled(bs, cfg, 2)
+
+	runner, err := NewRunner(reg, Plan{
+		Kind: RunSession, Benchmarks: ids, Session: QuasiEntireSession,
+		Epochs: 1, Seed: 42, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != len(legacy) {
+		t.Fatalf("runner produced %d sessions, legacy %d", len(res.Sessions), len(legacy))
+	}
+	for i := range legacy {
+		p, w := res.Sessions[i], legacy[i]
+		if p.ID != w.ID || p.Epochs != w.Epochs || math.Float64bits(p.FinalQuality) != math.Float64bits(w.FinalQuality) {
+			t.Fatalf("session %d differs:\nplan   %+v\nlegacy %+v", i, p, w)
+		}
+		for e := range w.Losses {
+			if math.Float64bits(p.Losses[e]) != math.Float64bits(w.Losses[e]) {
+				t.Fatalf("session %s epoch %d loss differs: %v vs %v", p.ID, e+1, p.Losses[e], w.Losses[e])
+			}
+		}
+	}
+}
+
+// cancelOnFirstLine cancels its context the first time a progress line
+// is written — i.e. right after the session's first epoch completes.
+type cancelOnFirstLine struct {
+	cancel context.CancelFunc
+	lines  int
+}
+
+func (c *cancelOnFirstLine) Write(p []byte) (int, error) {
+	c.lines++
+	if c.lines == 1 {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestSessionEpochLoopHonoursContext pins the per-epoch cancellation
+// satellite: a session whose context is cancelled mid-run stops at the
+// next epoch boundary instead of training out its epoch budget.
+func TestSessionEpochLoopHonoursContext(t *testing.T) {
+	reg := NewRegistry()
+	b := reg.ByID("DC-AI-C15")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &cancelOnFirstLine{cancel: cancel}
+	res, err := b.runSession(ctx, SessionConfig{
+		Kind: QuasiEntireSession, MaxEpochs: 50, Seed: 7, Log: w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled session not marked Interrupted")
+	}
+	if res.Epochs == 0 || res.Epochs >= 50 {
+		t.Fatalf("cancelled session trained %d epochs, want the completed prefix (1..49)", res.Epochs)
+	}
+	if res.ReachedGoal {
+		t.Fatal("interrupted quasi-entire session claims completion")
+	}
+	if len(res.Losses) != res.Epochs {
+		t.Fatalf("loss trace %d != completed epochs %d", len(res.Losses), res.Epochs)
+	}
+}
+
+// TestRunnerSinkErrorStopsRun pins the sink contract: a failing sink (a
+// full disk, say) cancels the remaining work and surfaces as the run's
+// error instead of vanishing.
+func TestRunnerSinkErrorStopsRun(t *testing.T) {
+	reg := NewRegistry()
+	runner, err := NewRunner(reg, Plan{Kind: RunReplay, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	n := 0
+	res, err := runner.Run(context.Background(), func(Record) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("run error = %v, want the sink's", err)
+	}
+	if len(res.Replays) != 3 {
+		t.Fatalf("run kept going after the sink failed: %d records", len(res.Replays))
+	}
+}
+
+// TestRunnerAppliesPlanKernel checks the kernel selected by a validated
+// plan is the one sessions dispatch to and record.
+func TestRunnerAppliesPlanKernel(t *testing.T) {
+	reg := NewRegistry()
+	prev := tensor.ActiveKernels().Name()
+	defer tensor.UseKernels(prev)
+	runner, err := NewRunner(reg, Plan{
+		Kind: RunSession, Benchmarks: []string{"DC-AI-C15"},
+		Session: QuasiEntireSession, Epochs: 1, Seed: 7, Kernel: "naive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions[0].Kernel != "naive" {
+		t.Fatalf("session dispatched to %q, want the plan's %q", res.Sessions[0].Kernel, "naive")
+	}
+	if runner.Meta().Kernel != "naive" {
+		t.Fatalf("run meta records kernel %q, want %q", runner.Meta().Kernel, "naive")
+	}
+}
+
+// TestRunScaledSessionStillPanicsOnUnknownKernel pins the legacy
+// facade's documented contract while Plan takes over validation.
+func TestRunScaledSessionStillPanicsOnUnknownKernel(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunScaledSession accepted an unknown kernel without panicking")
+		}
+	}()
+	reg.ByID("DC-AI-C15").RunScaledSession(SessionConfig{
+		Kind: QuasiEntireSession, MaxEpochs: 1, Kernel: "bogus",
+	})
+}
+
+// TestRunnerScalingAndCharacterize exercises the two analytic run kinds
+// through the same engine.
+func TestRunnerScalingAndCharacterize(t *testing.T) {
+	reg := NewRegistry()
+	runner, err := NewRunner(reg, Plan{
+		Kind: RunScaling, Benchmarks: []string{"DC-AI-C15"}, ShardSweep: []int{1}, Epochs: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaling) != 1 || len(res.Scaling[0].Points) != 1 || res.Scaling[0].Points[0].Shards != 1 {
+		t.Fatalf("scaling run produced %+v", res.Scaling)
+	}
+
+	runner, err = NewRunner(reg, Plan{Kind: RunCharacterize, Benchmarks: []string{"DC-AI-C16", "DC-AI-C1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []RecordKind
+	res, err = runner.Run(context.Background(), func(r Record) error {
+		streamed = append(streamed, r.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Characterizations) != 2 || res.Characterizations[0].ID != "DC-AI-C16" || res.Characterizations[1].ID != "DC-AI-C1" {
+		t.Fatalf("characterize run lost plan order: %+v", res.Characterizations)
+	}
+	if len(streamed) != 2 || streamed[0] != KindCharacterization {
+		t.Fatalf("sink saw %v", streamed)
+	}
+}
+
+// TestRenderSessionsRestoresRegistryOrder checks run-report renderers
+// sort completion-order records back into registry order and drop
+// never-launched zero slots, the property that makes rebuilt reports
+// byte-identical to live ones.
+func TestRenderSessionsRestoresRegistryOrder(t *testing.T) {
+	rs := []SessionResult{
+		{ID: "MLPerf-RL", Name: "rl"},
+		{}, // never launched
+		{ID: "DC-AI-C1", Name: "ic"},
+	}
+	var buf bytes.Buffer
+	RenderSessions(&buf, rs)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "DC-AI-C1") || !strings.HasPrefix(lines[2], "MLPerf-RL") {
+		t.Fatalf("rows out of registry order:\n%s", buf.String())
+	}
+}
+
+// TestRunReportKindCoversEveryName keeps the name→kind map in sync with
+// the advertised report list.
+func TestRunReportKindCoversEveryName(t *testing.T) {
+	for _, n := range RunReportNames() {
+		if _, ok := RunReportKind(n); !ok {
+			t.Errorf("RunReportKind does not know %q", n)
+		}
+	}
+	if _, ok := RunReportKind("hologram"); ok {
+		t.Error("RunReportKind accepted an unknown name")
+	}
+}

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 
@@ -217,6 +219,42 @@ func (r *Registry) ByID(id string) *Benchmark {
 		}
 	}
 	return nil
+}
+
+// SHA returns a short hex digest over the registered benchmark roster
+// (ids, suites, tasks, algorithms, datasets in registry order). It
+// identifies which suite revision produced a persisted result stream:
+// the digest changes when benchmarks are added, removed, reordered, or
+// re-bound, and is stable across runs of the same build.
+func (r *Registry) SHA() string {
+	h := sha256.New()
+	for _, b := range r.All() {
+		fmt.Fprintf(h, "%s|%s|%s|%s|%s\n", b.ID, b.Suite, b.Task, b.Algorithm, b.Dataset)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// registryOrder maps every benchmark id to its canonical suite position
+// (AIBench C1..C17, then MLPerf), so report renderers can restore
+// registry order over records that arrived in completion order.
+var registryOrder = func() map[string]int {
+	m := make(map[string]int, len(aibenchTable)+len(mlperfTable))
+	for _, b := range aibenchTable {
+		m[b.ID] = len(m)
+	}
+	for _, b := range mlperfTable {
+		m[b.ID] = len(m)
+	}
+	return m
+}()
+
+// orderOf returns the canonical position of a benchmark id; unknown ids
+// sort after every registered benchmark.
+func orderOf(id string) int {
+	if i, ok := registryOrder[id]; ok {
+		return i
+	}
+	return len(registryOrder)
 }
 
 // Subset returns the paper's three-benchmark minimum subset.

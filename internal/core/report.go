@@ -11,6 +11,145 @@ import (
 // Text renderers: each Render* writes the rows/series of one paper table
 // or figure, so `aibench-report` and the bench harness can regenerate
 // the whole evaluation section.
+//
+// The run-report renderers at the bottom render the records a Plan run
+// emits (sessions, characterizations, scaling rows, replay sessions).
+// Both the live CLI and `aibench-report -from results.jsonl` call the
+// same renderer over the same records — and every renderer restores
+// canonical registry order first — so a report rebuilt from a persisted
+// stream is byte-identical to its live-run output.
+
+// RunReportNames lists the run reports rebuildable from persisted
+// records, in render order.
+func RunReportNames() []string {
+	return []string{"sessions", "characterizations", "scaling", "replays"}
+}
+
+// RunReportKind maps a run-report name to the record kind it renders;
+// ok is false for unknown names.
+func RunReportKind(name string) (RecordKind, bool) {
+	switch name {
+	case "sessions":
+		return KindSession, true
+	case "characterizations":
+		return KindCharacterization, true
+	case "scaling":
+		return KindScaling, true
+	case "replays":
+		return KindReplay, true
+	}
+	return "", false
+}
+
+// RenderRunRecords renders one named run report from a record stream,
+// ignoring records of other kinds; it reports whether the name was
+// known.
+func RenderRunRecords(name string, w io.Writer, recs []Record) bool {
+	switch name {
+	case "sessions":
+		var rs []SessionResult
+		for _, r := range recs {
+			if r.Kind == KindSession && r.Session != nil {
+				rs = append(rs, *r.Session)
+			}
+		}
+		RenderSessions(w, rs)
+	case "characterizations":
+		var cs []Characterization
+		for _, r := range recs {
+			if r.Kind == KindCharacterization && r.Characterization != nil {
+				cs = append(cs, *r.Characterization)
+			}
+		}
+		RenderCharacterizations(w, cs)
+	case "scaling":
+		var rows []ScalingRow
+		for _, r := range recs {
+			if r.Kind == KindScaling && r.Scaling != nil {
+				rows = append(rows, *r.Scaling)
+			}
+		}
+		RenderScaling(w, rows)
+	case "replays":
+		var rs []ReplaySession
+		for _, r := range recs {
+			if r.Kind == KindReplay && r.Replay != nil {
+				rs = append(rs, *r.Replay)
+			}
+		}
+		RenderReplays(w, rs)
+	default:
+		return false
+	}
+	return true
+}
+
+// canonical filters out zero-ID entries (sessions that never launched)
+// and restores registry order, so renderers are deterministic over
+// records that arrived in completion order.
+func canonical[T any](in []T, id func(T) string) []T {
+	out := make([]T, 0, len(in))
+	for _, v := range in {
+		if id(v) != "" {
+			out = append(out, v)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		oi, oj := orderOf(id(out[i])), orderOf(id(out[j]))
+		if oi != oj {
+			return oi < oj
+		}
+		return id(out[i]) < id(out[j])
+	})
+	return out
+}
+
+// RenderSessions writes the suite session summary table.
+func RenderSessions(w io.Writer, rs []SessionResult) {
+	rows := canonical(rs, func(r SessionResult) string { return r.ID })
+	fmt.Fprintf(w, "%-12s %-34s %7s %7s %9s %9s %s\n", "ID", "Name", "Epochs", "Shards", "Quality", "Target", "Reached")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-34s %7d %7d %9.4f %9.4f %v\n",
+			r.ID, r.Name, r.Epochs, r.Shards, r.FinalQuality, r.Target, r.ReachedGoal)
+	}
+}
+
+// RenderCharacterizations writes the per-benchmark characterization
+// summary table.
+func RenderCharacterizations(w io.Writer, cs []Characterization) {
+	rows := canonical(cs, func(c Characterization) string { return c.ID })
+	fmt.Fprintf(w, "%-12s %-28s %12s %10s %8s %6s %6s\n", "ID", "Task", "MFLOPs", "MParams", "Epochs", "Occ", "IPC")
+	for _, c := range rows {
+		fmt.Fprintf(w, "%-12s %-28s %12.2f %10.2f %8.1f %6.3f %6.3f\n",
+			c.ID, c.Task, c.MFLOPs, c.MParams, c.Epochs,
+			c.Metrics.AchievedOccupancy, c.Metrics.IPCEfficiency)
+	}
+}
+
+// RenderScaling writes the data-parallel scaling table (one line per
+// measured shard count; the id and name print on the first).
+func RenderScaling(w io.Writer, rows []ScalingRow) {
+	sorted := canonical(rows, func(r ScalingRow) string { return r.ID })
+	fmt.Fprintf(w, "%-12s %-24s %8s %12s %9s\n", "ID", "Name", "Shards", "Sec/Epoch", "Speedup")
+	for _, row := range sorted {
+		for i, p := range row.Points {
+			id, name := row.ID, row.Name
+			if i > 0 {
+				id, name = "", ""
+			}
+			fmt.Fprintf(w, "%-12s %-24s %8d %12.4f %8.2fx\n", id, name, p.Shards, p.SecPerEpoch, p.Speedup)
+		}
+	}
+}
+
+// RenderReplays writes the simulated paper-scale session table.
+func RenderReplays(w io.Writer, rs []ReplaySession) {
+	rows := canonical(rs, func(r ReplaySession) string { return r.ID })
+	fmt.Fprintf(w, "%-12s %10s %10s\n", "ID", "Epochs", "Hours")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10.1f %10.2f\n", r.ID, r.Epochs, r.Hours)
+	}
+}
 
 // RenderTable1 writes the suite comparison matrix.
 func RenderTable1(w io.Writer) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"aibench/internal/dist"
@@ -31,11 +32,24 @@ type ScalingRow struct {
 // sweep measures pure scheduling gain. Benchmarks without a shardable
 // train step are skipped.
 func ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []ScalingRow {
+	rows, _ := scalingReport(context.Background(), bs, shards, epochs, seed, nil)
+	return rows
+}
+
+// scalingReport is the context-aware sweep engine behind ScalingReport
+// and the Plan Runner: cancellation is checked between benchmarks (a
+// row is never emitted half-measured), and each completed row streams
+// through sink; a sink error stops the sweep and is returned with the
+// rows measured so far.
+func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs int, seed int64, sink func(ScalingRow) error) ([]ScalingRow, error) {
 	if epochs <= 0 {
 		epochs = 2
 	}
 	var rows []ScalingRow
 	for _, b := range bs {
+		if ctx.Err() != nil {
+			break
+		}
 		if !b.Shardable() {
 			continue
 		}
@@ -51,8 +65,13 @@ func ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []Scal
 			})
 		}
 		rows = append(rows, row)
+		if sink != nil {
+			if err := sink(row); err != nil {
+				return rows, err
+			}
+		}
 	}
-	return rows
+	return rows, nil
 }
 
 // timeShardedEpochs trains `epochs` epochs at the given shard count and

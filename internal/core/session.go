@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,8 +39,11 @@ type SessionConfig struct {
 	// ...) for this and subsequent sessions; empty keeps whatever is
 	// active (the AIBENCH_KERNEL env var or the blocked default).
 	// Selection is process-global — concurrent sessions always share
-	// one kernel — and an unknown name panics, mirroring the tensor
-	// package's panic-on-bad-input contract.
+	// one kernel — and is skipped entirely when the requested kernel
+	// is already active, so suite runs don't hammer the global
+	// dispatch state once per session. An unknown name makes
+	// RunScaledSession panic (the legacy contract); Plan validates the
+	// name up front and returns an error instead.
 	Kernel string
 	Log    io.Writer // optional progress stream
 }
@@ -61,7 +65,11 @@ type SessionResult struct {
 	// Kernel is the compute kernel ("naive", "blocked", ...) the
 	// session's tensor ops dispatched to, so JSONL and perf artifacts
 	// record which kernel produced each number.
-	Kernel       string    `json:"kernel"`
+	Kernel string `json:"kernel"`
+	// Interrupted marks a session stopped by context cancellation
+	// before it exhausted its epoch budget or reached its target; the
+	// loss trace is the completed-epoch prefix.
+	Interrupted  bool      `json:"interrupted,omitempty"`
 	ReachedGoal  bool      `json:"reached_goal"`
 	FinalQuality float64   `json:"final_quality"`
 	Target       float64   `json:"target"`
@@ -83,13 +91,32 @@ type epochTrainer interface {
 // the session trains data-parallel through internal/dist — each step's
 // batch splits across shard workers and gradients combine with a
 // deterministic all-reduce — when the benchmark supports it.
+//
+// An unknown cfg.Kernel panics. New code should run sessions through a
+// Plan instead, which validates the kernel at build time and threads a
+// context into the epoch loop.
 func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
+	res, err := b.runSession(context.Background(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: SessionConfig.Kernel: %v", err))
+	}
+	return res
+}
+
+// runSession is the context-aware session engine behind both
+// RunScaledSession and the Plan Runner: it validates the kernel with an
+// error instead of a panic, skips the process-global kernel switch when
+// the requested kernel is already active, and checks ctx at every epoch
+// boundary so a cancelled run stops training instead of spending the
+// remaining epoch budget (the completed prefix is still returned, with
+// Interrupted set).
+func (b *Benchmark) runSession(ctx context.Context, cfg SessionConfig) (SessionResult, error) {
 	if cfg.MaxEpochs <= 0 {
 		cfg.MaxEpochs = 150
 	}
-	if cfg.Kernel != "" {
+	if cfg.Kernel != "" && cfg.Kernel != tensor.ActiveKernels().Name() {
 		if err := tensor.UseKernels(cfg.Kernel); err != nil {
-			panic(fmt.Sprintf("core: SessionConfig.Kernel: %v", err))
+			return SessionResult{}, err
 		}
 	}
 	var (
@@ -130,6 +157,10 @@ func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 		Target: w.ScaledTarget(),
 	}
 	for ep := 1; ep <= cfg.MaxEpochs; ep++ {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		loss := trainer.TrainEpoch()
 		res.Losses = append(res.Losses, loss)
 		res.Epochs = ep
@@ -143,10 +174,10 @@ func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 			break
 		}
 	}
-	if cfg.Kind == QuasiEntireSession {
+	if cfg.Kind == QuasiEntireSession && !res.Interrupted {
 		res.ReachedGoal = true // quasi-entire sessions complete by definition
 	}
-	return res
+	return res, nil
 }
 
 // Shardable reports whether the benchmark's workload supports
@@ -173,9 +204,9 @@ func (b *Benchmark) Shardable() bool {
 // from the calibrated convergence distribution, wall-clock from the
 // Table 6 cost model.
 type ReplaySession struct {
-	ID     string
-	Epochs float64
-	Hours  float64
+	ID     string  `json:"id"`
+	Epochs float64 `json:"epochs"`
+	Hours  float64 `json:"hours"`
 }
 
 // RunReplaySession returns the simulated paper-scale session.

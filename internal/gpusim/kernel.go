@@ -41,11 +41,11 @@ type Kernel struct {
 // Metrics are the five micro-architectural metrics of Fig 3, each in
 // [0,1].
 type Metrics struct {
-	AchievedOccupancy float64
-	IPCEfficiency     float64
-	GldEfficiency     float64
-	GstEfficiency     float64
-	DramUtilization   float64
+	AchievedOccupancy float64 `json:"achieved_occupancy"`
+	IPCEfficiency     float64 `json:"ipc_efficiency"`
+	GldEfficiency     float64 `json:"gld_efficiency"`
+	GstEfficiency     float64 `json:"gst_efficiency"`
+	DramUtilization   float64 `json:"dram_utilization"`
 }
 
 // Vector returns the metrics in the paper's radar-axis order

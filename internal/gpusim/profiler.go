@@ -60,10 +60,10 @@ func (p *Profile) WeightedMetrics() Metrics {
 
 // Hotspot is one function's share of total runtime.
 type Hotspot struct {
-	Name     string
-	Category Category
-	Share    float64 // fraction of total runtime
-	Calls    int
+	Name     string   `json:"name"`
+	Category Category `json:"category"`
+	Share    float64  `json:"share"` // fraction of total runtime
+	Calls    int      `json:"calls"`
 }
 
 // Hotspots aggregates kernels by function name, sorted by descending

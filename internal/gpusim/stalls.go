@@ -3,14 +3,14 @@ package gpusim
 // StallBreakdown attributes a kernel's issue stalls to the eight causes
 // nvprof reports and the paper analyzes in Fig 7. Fractions sum to 1.
 type StallBreakdown struct {
-	InstFetch      float64 // next instruction not yet fetched
-	ExecDepend     float64 // input operand not yet available
-	MemDepend      float64 // load/store resources unavailable
-	Texture        float64 // texture sub-system under-utilized
-	Sync           float64 // __syncthreads waits
-	ConstMemDepend float64 // immediate constant cache miss
-	PipeBusy       float64 // compute pipeline busy
-	MemThrottle    float64 // too many pending memory operations
+	InstFetch      float64 `json:"inst_fetch"`       // next instruction not yet fetched
+	ExecDepend     float64 `json:"exe_depend"`       // input operand not yet available
+	MemDepend      float64 `json:"mem_depend"`       // load/store resources unavailable
+	Texture        float64 `json:"texture"`          // texture sub-system under-utilized
+	Sync           float64 `json:"sync"`             // __syncthreads waits
+	ConstMemDepend float64 `json:"const_mem_depend"` // immediate constant cache miss
+	PipeBusy       float64 `json:"pipe_busy"`        // compute pipeline busy
+	MemThrottle    float64 `json:"mem_throttle"`     // too many pending memory operations
 }
 
 // Vector returns the eight fractions in Fig 7 order.

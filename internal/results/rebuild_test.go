@@ -1,0 +1,77 @@
+package results
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"aibench/internal/core"
+)
+
+func renderReport(t *testing.T, name string, recs []core.Record) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if !core.RenderRunRecords(name, &buf, recs) {
+		t.Fatalf("unknown run report %q", name)
+	}
+	return buf.String()
+}
+
+// TestReportRebuildByteIdenticalToLiveRun pins the acceptance criterion
+// of the persistence redesign: for every run kind, a named report
+// rendered from records decoded out of the persisted JSONL stream is
+// byte-identical to the report rendered from the live run's records —
+// rebuilding costs a decode, not a retrain.
+func TestReportRebuildByteIdenticalToLiveRun(t *testing.T) {
+	reg := core.NewRegistry()
+	cases := []struct {
+		report string
+		plan   core.Plan
+	}{
+		{"sessions", core.Plan{
+			Kind: core.RunSession, Benchmarks: []string{"DC-AI-C15", "DC-AI-C16"},
+			Session: core.QuasiEntireSession, Epochs: 1, Seed: 42, Workers: 2,
+		}},
+		{"characterizations", core.Plan{
+			Kind: core.RunCharacterize, Benchmarks: []string{"DC-AI-C1", "DC-AI-C16"},
+		}},
+		{"scaling", core.Plan{
+			Kind: core.RunScaling, Benchmarks: []string{"DC-AI-C15"},
+			ShardSweep: []int{1, 2}, Epochs: 1, Seed: 42,
+		}},
+		{"replays", core.Plan{Kind: core.RunReplay, Seed: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.report, func(t *testing.T) {
+			runner, err := core.NewRunner(reg, c.plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			w := NewWriter(&buf, runner.Meta())
+			res, err := runner.Run(context.Background(), w.Write)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := renderReport(t, c.report, res.Records())
+			if live == "" || len(res.Records()) == 0 {
+				t.Fatal("live run produced nothing to compare")
+			}
+
+			stream, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stream.Skipped != 0 {
+				t.Fatalf("stream skipped %d of its own records", stream.Skipped)
+			}
+			if len(stream.Records) != len(res.Records()) {
+				t.Fatalf("persisted %d records, live run produced %d", len(stream.Records), len(res.Records()))
+			}
+			rebuilt := renderReport(t, c.report, stream.Records)
+			if live != rebuilt {
+				t.Errorf("rebuilt %s report differs from live output:\n--- live ---\n%s--- rebuilt ---\n%s", c.report, live, rebuilt)
+			}
+		})
+	}
+}
