@@ -1,0 +1,112 @@
+package analyzers
+
+// The golden-test harness, in the shape of
+// golang.org/x/tools/go/analysis/analysistest: a testdata package is
+// type-checked under an explicit import path (so the scope config is
+// part of what the test exercises) and the analyzer's diagnostics are
+// matched line by line against `// want "regexp"` comments in the
+// source. Every diagnostic must be wanted and every want must fire;
+// a directory with no want comments asserts the analyzer stays silent
+// on it (the no-false-positive corpora).
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted patterns of a `// want "x" "y"` comment.
+var wantRE = regexp.MustCompile(`// want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want pattern, keyed to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runGolden type-checks dir as asPath, runs exactly the given
+// analyzers (scope honoured), and matches diagnostics against the
+// dir's want comments.
+func runGolden(t *testing.T, as []*Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, as, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// mustLoadDir fails the test unless dir type-checks as asPath.
+func mustLoadDir(t *testing.T, dir, asPath string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// countByAnalyzer tallies diagnostics per analyzer name.
+func countByAnalyzer(diags []Diagnostic) map[string]int {
+	out := map[string]int{}
+	for _, d := range diags {
+		out[d.Analyzer]++
+	}
+	return out
+}
+
+// describe pretty-prints diagnostics for failure messages.
+func describe(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// exportSet maps import paths to compiled export-data files, the
+// dependency side of type-checking: each analyzed package is
+// type-checked from source with every import (stdlib and module
+// alike) resolved through export data, exactly how a compiler-driven
+// analysis driver works.
+type exportSet struct {
+	exports map[string]string
+	targets []listPkg
+}
+
+// goList runs `go list -export -json -deps patterns...` in dir and
+// returns the export map plus the non-dep target packages.
+func goList(dir string, patterns ...string) (*exportSet, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	es := &exportSet{exports: map[string]string{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyzers: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analyzers: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			es.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			es.targets = append(es.targets, p)
+		}
+	}
+	return es, nil
+}
+
+// lookup opens the export data for an import path. The standard
+// library vendors some golang.org/x packages under a "vendor/"
+// prefix; export data may reference them either way, so both spellings
+// resolve.
+func (es *exportSet) lookup(path string) (io.ReadCloser, error) {
+	e, ok := es.exports[path]
+	if !ok {
+		e, ok = es.exports["vendor/"+path]
+	}
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(e)
+}
+
+// check parses and type-checks one package directory's files under the
+// given import path.
+func (es *exportSet) check(fset *token.FileSet, dir, asPath string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", es.lookup)}
+	pkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: type-check %s: %v", asPath, err)
+	}
+	return &Package{Path: asPath, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Load builds and type-checks the packages matching the patterns
+// (e.g. "./...") in the module rooted at dir. Only the matched
+// packages are returned; dependencies are consumed as export data.
+// Test files are not loaded: the invariants bind the shipped code, and
+// tests legitimately use wall-clock, throwaway maps, and ad-hoc math.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	es, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range es.targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analyzers: %s uses cgo, which this loader does not support", t.ImportPath)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := es.check(fset, t.Dir, t.ImportPath, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// moduleExports caches the repo-wide export set for LoadDir, which
+// golden tests call once per testdata package.
+var (
+	moduleOnce    sync.Once
+	moduleExports *exportSet
+	moduleErr     error
+)
+
+// LoadDir type-checks a single directory of Go files — a testdata
+// package outside the module build — as though its import path were
+// asPath, so scope-sensitive analyzers see it as the package whose
+// invariants it exercises. Imports resolve against the enclosing
+// module's dependency closure (run `go list` once, cached), so
+// testdata may import the standard library and any aibench package.
+func LoadDir(dir, asPath string) (*Package, error) {
+	moduleOnce.Do(func() {
+		root, err := moduleRoot(dir)
+		if err != nil {
+			moduleErr = err
+			return
+		}
+		moduleExports, moduleErr = goList(root, "./...")
+	})
+	if moduleErr != nil {
+		return nil, moduleErr
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: %v", err)
+	}
+	var goFiles []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analyzers: no Go files in %s", dir)
+	}
+	return moduleExports.check(token.NewFileSet(), dir, asPath, goFiles)
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analyzers: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

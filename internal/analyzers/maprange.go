@@ -1,0 +1,116 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maprange flags `for … range m` over a map in result-affecting
+// packages. Go randomizes map iteration order per run, so a map walk
+// that feeds a record, a rendered report line, or a float accumulation
+// (float addition is not associative) silently breaks the
+// byte-identical replay-rebuild contract.
+//
+// The one recognized-safe shape is the collect-then-sort idiom: a loop
+// whose entire body appends the keys (or values) to a slice that the
+// same function later sorts. Anything else needs the keys sorted
+// before iterating, or a justified //lint:allow maprange directive for
+// walks whose order provably cannot reach results (e.g. building
+// another map, or pure membership counting).
+var Maprange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "no unordered map iteration in result-affecting packages (sort keys first, or collect+sort)",
+	Scope: inResultAffecting,
+	Run:   runMaprange,
+}
+
+func runMaprange(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectThenSort(pass, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s: iteration order is random per run and this package feeds result records/reports; iterate sorted keys (collect, sort, index) instead",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// collectThenSort recognizes the safe idiom: the range body is exactly
+// `s = append(s, …)` and the enclosing function also passes s to a
+// sort.* or slices.Sort* call, so the random order never escapes.
+func collectThenSort(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	dstObj := pass.ObjectOf(dst)
+	if dstObj == nil {
+		return false
+	}
+	body := enclosingFunc(stack)
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.ObjectOf(id) == dstObj {
+					sorted = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sorted
+}

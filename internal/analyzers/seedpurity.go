@@ -1,0 +1,69 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedpurity forbids the two ways ambient entropy leaks into packages
+// that must be bitwise reproducible from the benchmark seed alone:
+//
+//   - package-level math/rand (and math/rand/v2) functions — Intn,
+//     Float64, Shuffle, … — which draw from a process-global,
+//     randomly-seeded source. Constructors that take an explicit
+//     source or seed (New, NewSource, NewZipf, NewPCG, NewChaCha8)
+//     stay legal: `rand.New(rand.NewSource(seed))` is exactly the
+//     approved pattern, and methods on such a stream are untouched.
+//   - time.Now, which turns wall-clock into data. Timing measurement
+//     loops (the scaling sweep) carry a justified //lint:allow:
+//     durations are the measurement there, never training state.
+var Seedpurity = &Analyzer{
+	Name:  "seedpurity",
+	Doc:   "no process-global math/rand and no time.Now in deterministic packages (seed-derived streams only)",
+	Scope: inDeterministic,
+	Run:   runSeedpurity,
+}
+
+// seededConstructors are the receiver-less math/rand functions that
+// build explicitly-seeded streams rather than drawing from the global
+// one.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSeedpurity(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(),
+						"time.Now in deterministic package %s: wall-clock must never reach seed-reproducible state or record data", pass.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s draws from the process-global random source; use a rand.New(rand.NewSource(seed)) stream derived from the benchmark seed", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

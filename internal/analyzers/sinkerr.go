@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Sinkerr enforces that the error from a result-sink call is always
+// checked. Sinks became failable when persistence landed (a full disk,
+// a closed pipe); a dropped sink error silently truncates the
+// longitudinal result store while the run reports success — the worst
+// possible failure for a benchmark whose value is its durable record.
+//
+// A call is a sink call when it returns an error and either
+//
+//   - the callee is a func-typed value named `sink` (or *Sink), the
+//     Runner's record-delivery convention, or
+//   - it is a Write/Encode/Flush method on the results package's
+//     writers or on an encoding/json encoder (the envelope layer).
+//
+// Both discarding shapes are flagged: a bare call statement and an
+// assignment of the error position to blank.
+var Sinkerr = &Analyzer{
+	Name:  "sinkerr",
+	Doc:   "result-sink / envelope Write/Encode errors must be checked (a dropped error truncates the result store)",
+	Scope: inSink,
+	Run:   runSinkerr,
+}
+
+func runSinkerr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name := sinkCall(pass, call); name != "" {
+						pass.Reportf(stmt.Pos(),
+							"result-sink error dropped: %s returns an error that must be checked — a failed sink truncates the persisted result stream", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name := sinkCall(pass, stmt.Call); name != "" {
+					pass.Reportf(stmt.Pos(),
+						"result-sink error dropped in defer: %s returns an error that must be checked — a failed sink truncates the persisted result stream", name)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range stmt.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					name := sinkCall(pass, call)
+					if name == "" {
+						continue
+					}
+					if errorDiscarded(pass, stmt, i, call) {
+						pass.Reportf(stmt.Pos(),
+							"result-sink error assigned to _: %s's error must be checked — a failed sink truncates the persisted result stream", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkCall reports the display name of a result-sink call returning an
+// error, or "" when the call is not a sink call.
+func sinkCall(pass *Pass, call *ast.CallExpr) string {
+	if !returnsError(pass, call) {
+		return ""
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if isSinkName(fun.Name) {
+			return fun.Name
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if isSinkName(name) {
+			return types.ExprString(fun)
+		}
+		if name != "Write" && name != "Encode" && name != "Flush" {
+			return ""
+		}
+		recv := pass.TypeOf(fun.X)
+		if recv == nil {
+			return ""
+		}
+		if p := namedPkgPath(recv); p == "aibench/internal/results" || p == "encoding/json" {
+			return types.ExprString(fun)
+		}
+	}
+	return ""
+}
+
+// isSinkName matches the Runner's record-delivery convention: a
+// func-typed value called sink (or somethingSink).
+func isSinkName(name string) bool {
+	return name == "sink" || strings.HasSuffix(name, "Sink")
+}
+
+// returnsError reports whether the call's only or last result is an
+// error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	switch rt := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		return rt.Len() > 0 && isErrorType(rt.At(rt.Len()-1).Type())
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// namedPkgPath returns the defining package path of a (possibly
+// pointer-to) named receiver type, or "".
+func namedPkgPath(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// errorDiscarded reports whether the error result of the i-th RHS call
+// lands in the blank identifier.
+func errorDiscarded(pass *Pass, asg *ast.AssignStmt, i int, call *ast.CallExpr) bool {
+	// Single call RHS: results map positionally onto the LHS; the error
+	// is the last result, so the last (or only, for 1:1) LHS slot.
+	var lhs ast.Expr
+	if len(asg.Rhs) == 1 {
+		if len(asg.Lhs) == 0 {
+			return false
+		}
+		lhs = asg.Lhs[len(asg.Lhs)-1]
+	} else {
+		if i >= len(asg.Lhs) {
+			return false
+		}
+		lhs = asg.Lhs[i]
+	}
+	id, ok := lhs.(*ast.Ident)
+	return ok && id.Name == "_"
+}

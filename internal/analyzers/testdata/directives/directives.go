@@ -1,0 +1,53 @@
+// Directive-misuse cases, checked programmatically (TestDirectives)
+// rather than by want comments: a lintdirective diagnostic lands on
+// the directive's own line, where a want comment cannot sit without
+// becoming the directive's justification text.
+//
+// The file carries exactly:
+//   - one bare //lint:allow with no analyzer at all   (malformed)
+//   - one //lint:allow with no justification          (no justification)
+//   - one //lint:allow naming an unknown analyzer     (unknown analyzer)
+//   - two justified directives (line-above and inline) that suppress
+//
+// so the expected surviving diagnostics are 3 lintdirective + the 3
+// maprange findings the malformed directives failed to suppress.
+package directives
+
+import "fmt"
+
+//lint:allow
+func malformed(shares map[string]float64) {
+	for k := range shares {
+		fmt.Println(k, shares[k])
+	}
+}
+
+func unjustified(shares map[string]float64) {
+	//lint:allow maprange
+	for k := range shares {
+		fmt.Println(k, shares[k])
+	}
+}
+
+func unknownAnalyzer(shares map[string]float64) {
+	//lint:allow mapranger order cannot matter here
+	for range shares {
+	}
+}
+
+func suppressedAbove(shares map[string]float64) int {
+	n := 0
+	//lint:allow maprange pure counting; iteration order cannot matter
+	for range shares {
+		n++
+	}
+	return n
+}
+
+func suppressedInline(shares map[string]float64) int {
+	n := 0
+	for range shares { //lint:allow maprange pure counting; iteration order cannot matter
+		n++
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+// The same hand-rolled loops as the kernelgate golden file, checked as
+// internal/tensor itself — the one package where writing the raw loops
+// IS the job (it implements the kernels). The analyzer must stay
+// silent, so this file has no want comments.
+package kernelgate
+
+import "aibench/internal/tensor"
+
+func rawGEMM(a, b *tensor.Tensor, m, k, n int) *tensor.Tensor {
+	c := tensor.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			for l := 0; l < k; l++ {
+				c.Data[i*n+j] += a.Data[i*k+l] * b.Data[l*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func rawElementwise(a, b *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(len(a.Data))
+	for i := 0; i < len(a.Data); i++ {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Golden cases for the maprange analyzer, checked as a
+// result-affecting package (aibench/internal/core).
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// renderShares walks a map straight into output lines: the classic
+// violation — the rendered report differs run to run.
+func renderShares(shares map[string]float64) {
+	for cat, s := range shares { // want "range over map shares: iteration order is random"
+		fmt.Println(cat, s)
+	}
+}
+
+// accumulate folds map values into a float in map order: float
+// addition is not associative, so the sum is nondeterministic.
+func accumulate(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights { // want "range over map weights"
+		total += w
+	}
+	return total
+}
+
+// collectThenSort is the recognized-safe idiom: the body only appends
+// keys, and the slice is sorted before anything reads it.
+func collectThenSort(shares map[string]float64) []string {
+	names := make([]string, 0, len(shares))
+	for n := range shares {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// collectThenSortSlice also passes: sort.Slice over the collected
+// keys counts, whatever the comparator.
+func collectThenSortSlice(shares map[string]float64) []string {
+	names := make([]string, 0, len(shares))
+	for n := range shares {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return shares[names[i]] > shares[names[j]] })
+	return names
+}
+
+// collectWithoutSort looks like collection but never sorts: the random
+// order escapes through the returned slice.
+func collectWithoutSort(shares map[string]float64) []string {
+	var names []string
+	for n := range shares { // want "range over map shares"
+		names = append(names, n)
+	}
+	return names
+}
+
+// allowed carries a justified suppression: order provably cannot reach
+// results because the walk only builds another map.
+func allowed(shares map[string]float64) map[string]bool {
+	seen := map[string]bool{}
+	//lint:allow maprange builds another map; key order cannot escape into results
+	for n := range shares {
+		seen[n] = true
+	}
+	return seen
+}
+
+// allowedInline carries the suppression on the flagged line itself,
+// the other accepted placement.
+func allowedInline(shares map[string]float64) int {
+	n := 0
+	for range shares { //lint:allow maprange pure counting; order cannot matter
+		n++
+	}
+	return n
+}
+
+// sortedKeys is the plain fix the diagnostic recommends: index the map
+// through its sorted keys.
+func sortedKeys(shares map[string]float64) {
+	keys := make([]string, 0, len(shares))
+	for k := range shares {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, shares[k])
+	}
+}

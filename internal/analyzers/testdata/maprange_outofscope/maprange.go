@@ -1,0 +1,20 @@
+// The same map walks that the in-scope golden file flags, checked as a
+// package outside the result-affecting set (aibench/internal/gpusim):
+// the analyzer must stay silent, so this file has no want comments.
+package maprange
+
+import "fmt"
+
+func renderShares(shares map[string]float64) {
+	for cat, s := range shares {
+		fmt.Println(cat, s)
+	}
+}
+
+func accumulate(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Golden cases for the seedpurity analyzer, checked as a deterministic
+// package (aibench/internal/models).
+package seedpurity
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraws hit the process-global, randomly-seeded source: the
+// archetypal seed-purity violations.
+func globalDraws(n int) float64 {
+	i := rand.Intn(n)                  // want "global rand.Intn draws from the process-global random source"
+	f := rand.Float64()                // want "global rand.Float64"
+	rand.Shuffle(n, func(a, b int) {}) // want "global rand.Shuffle"
+	return float64(i) + f
+}
+
+// wallClock turns the clock into data.
+func wallClock() int64 {
+	t := time.Now() // want "time.Now in deterministic package"
+	return t.UnixNano()
+}
+
+// seededStream is the approved pattern: the constructors are legal and
+// every method on the explicit stream is untouched.
+func seededStream(seed int64, n int) float64 {
+	r := rand.New(rand.NewSource(seed))
+	i := r.Intn(n)
+	f := r.Float64()
+	r.Shuffle(n, func(a, b int) {})
+	z := rand.NewZipf(r, 1.1, 1, 64)
+	return float64(i) + f + float64(z.Uint64())
+}
+
+// clockMath that never reads the clock is fine: durations are plain
+// values.
+func clockMath(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// allowed carries a justified suppression: a timing harness where the
+// duration is the measurement itself.
+func allowed() time.Duration {
+	start := time.Now() //lint:allow seedpurity timing harness; the duration is the measurement, never training state
+	return time.Since(start)
+}

@@ -1,0 +1,15 @@
+// The same entropy uses, checked as a package outside the
+// deterministic set (aibench/internal/parallel, which only schedules):
+// the analyzer must stay silent, so this file has no want comments.
+package seedpurity
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(8)
+	return time.Since(start)
+}

@@ -1,0 +1,68 @@
+// Golden cases for the sinkerr analyzer, checked as a CLI that wires
+// sinks to files (aibench/cmd/aibench), against the real results and
+// core packages.
+package sinkerr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"aibench/internal/core"
+	"aibench/internal/results"
+)
+
+// droppedBareCall discards the sink's error as a bare statement: the
+// run reports success while the record is lost.
+func droppedBareCall(sink func(core.Record) error, rec core.Record) {
+	sink(rec) // want "result-sink error dropped"
+}
+
+// droppedBlank discards it into the blank identifier.
+func droppedBlank(sink func(core.Record) error, rec core.Record) {
+	_ = sink(rec) // want "result-sink error assigned to _"
+}
+
+// droppedWriter drops the envelope writer's error.
+func droppedWriter(w *results.Writer, rec core.Record) {
+	w.Write(rec) // want "result-sink error dropped"
+}
+
+// droppedEncoder drops the JSON envelope encoder's error.
+func droppedEncoder(dst io.Writer, rec core.Record) {
+	enc := json.NewEncoder(dst)
+	enc.Encode(rec) // want "result-sink error dropped"
+}
+
+// droppedDefer defers a sink call with nowhere for the error to go.
+func droppedDefer(resultSink func(core.Record) error, rec core.Record) {
+	defer resultSink(rec) // want "result-sink error dropped in defer"
+}
+
+// checked is the required shape.
+func checked(sink func(core.Record) error, rec core.Record) error {
+	if err := sink(rec); err != nil {
+		return fmt.Errorf("persist record: %w", err)
+	}
+	return nil
+}
+
+// checkedWriter threads the writer error out.
+func checkedWriter(w *results.Writer, rec core.Record) error {
+	return w.Write(rec)
+}
+
+// notASink shows the analyzer's precision: unchecked errors from
+// non-sink calls are vet/staticcheck territory, not this invariant.
+func notASink(name string) {
+	os.Remove(name)
+	fmt.Fprintln(io.Discard, name)
+}
+
+// allowed carries a justified suppression: a best-effort flush on an
+// already-failed path where the primary error is being returned.
+func allowed(sink func(core.Record) error, rec core.Record, primary error) error {
+	sink(rec) //lint:allow sinkerr best-effort final flush on an already-failing path; the primary error below is what the caller sees
+	return primary
+}

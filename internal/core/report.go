@@ -266,7 +266,14 @@ func (r *Registry) RenderTable7(w io.Writer, dev gpusim.Device) {
 		for n := range perCat[cat] {
 			names = append(names, n)
 		}
-		sort.Slice(names, func(i, j int) bool { return perCat[cat][names[i]] > perCat[cat][names[j]] })
+		// Total order: the names come off a map walk, so share ties
+		// must break by name or the rendered order is random per run.
+		sort.Slice(names, func(i, j int) bool {
+			if si, sj := perCat[cat][names[i]], perCat[cat][names[j]]; si != sj {
+				return si > sj
+			}
+			return names[i] < names[j]
+		})
 		for i, n := range names {
 			if i >= 3 {
 				break
@@ -376,11 +383,17 @@ func (r *Registry) RenderFigure6(w io.Writer, dev gpusim.Device) (ai, ml [4]int)
 func (r *Registry) RenderFigure7(w io.Writer, dev gpusim.Device) map[gpusim.Category]gpusim.StallBreakdown {
 	fmt.Fprintf(w, "Figure 7: stall breakdown of the hotspot kernel categories\n")
 	// Aggregate stalls across all seventeen benchmarks, time-weighted by
-	// category runtime.
+	// category runtime. Categories iterate in canonical order — never in
+	// map order — because float accumulation is not associative, and a
+	// random walk here would make the aggregate differ run to run.
 	agg := map[gpusim.Category][]float64{}
 	weights := map[gpusim.Category]float64{}
 	for _, c := range CharacterizeSuite(r.AIBench, dev) {
-		for cat, s := range c.Stalls {
+		for _, cat := range gpusim.Categories() {
+			s, ok := c.Stalls[cat]
+			if !ok {
+				continue
+			}
 			wgt := c.Shares[cat]
 			acc := agg[cat]
 			if acc == nil {

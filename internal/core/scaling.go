@@ -37,10 +37,10 @@ func ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []Scal
 }
 
 // scalingReport is the context-aware sweep engine behind ScalingReport
-// and the Plan Runner: cancellation is checked between benchmarks (a
-// row is never emitted half-measured), and each completed row streams
-// through sink; a sink error stops the sweep and is returned with the
-// rows measured so far.
+// and the Plan Runner: cancellation is checked between benchmarks and
+// at every timed epoch boundary (a row is never emitted
+// half-measured), and each completed row streams through sink; a sink
+// error stops the sweep and is returned with the rows measured so far.
 func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs int, seed int64, sink func(ScalingRow) error) ([]ScalingRow, error) {
 	if epochs <= 0 {
 		epochs = 2
@@ -53,16 +53,24 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 		if !b.Shardable() {
 			continue
 		}
-		baseline := timeShardedEpochs(b, 1, epochs, seed)
+		baseline, ok := timeShardedEpochs(ctx, b, 1, epochs, seed)
+		if !ok {
+			break
+		}
 		row := ScalingRow{ID: b.ID, Name: b.Task}
 		for _, n := range shards {
 			sec := baseline
 			if n != 1 {
-				sec = timeShardedEpochs(b, n, epochs, seed)
+				if sec, ok = timeShardedEpochs(ctx, b, n, epochs, seed); !ok {
+					break
+				}
 			}
 			row.Points = append(row.Points, ScalingPoint{
 				Shards: n, SecPerEpoch: sec, Speedup: baseline / sec,
 			})
+		}
+		if !ok {
+			break // cancelled mid-sweep: drop the half-measured row
 		}
 		rows = append(rows, row)
 		if sink != nil {
@@ -75,15 +83,23 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 }
 
 // timeShardedEpochs trains `epochs` epochs at the given shard count and
-// returns the mean wall-clock seconds per epoch.
-func timeShardedEpochs(b *Benchmark, n, epochs int, seed int64) float64 {
+// returns the mean wall-clock seconds per epoch; ok is false when ctx
+// was cancelled before the measurement completed (the Plan Runner's
+// epoch-boundary cancellation contract — a cancelled sweep must not
+// train out its epoch budget).
+func timeShardedEpochs(ctx context.Context, b *Benchmark, n, epochs int, seed int64) (sec float64, ok bool) {
 	eng, err := dist.New(b.Factory, DeriveSeed(seed, b.ID), dist.NewLocal(n))
 	if err != nil {
-		return 0
+		return 0, true
 	}
-	start := time.Now()
+	// The sweep's whole point is measuring wall-clock per epoch; the
+	// duration is the datum and never feeds training state.
+	start := time.Now() //lint:allow seedpurity scaling measures wall-clock per epoch; durations are the measurement, not training state
 	for e := 0; e < epochs; e++ {
+		if ctx.Err() != nil {
+			return 0, false
+		}
 		eng.TrainEpoch()
 	}
-	return time.Since(start).Seconds() / float64(epochs)
+	return time.Since(start).Seconds() / float64(epochs), true
 }

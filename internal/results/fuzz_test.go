@@ -1,0 +1,65 @@
+package results
+
+// FuzzEnvelopeDecode hardens the replay path: `aibench-report -from`
+// feeds whatever bytes are on disk straight into Read, so a corrupted,
+// truncated, or future-versioned stream must come back as an error or
+// a Skipped count — never a panic. CI runs a short fuzz smoke on every
+// push; `go test -fuzz=FuzzEnvelopeDecode ./internal/results` explores
+// further locally.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aibench/internal/core"
+)
+
+func FuzzEnvelopeDecode(f *testing.F) {
+	// A well-formed stream produced by the Writer itself.
+	var valid bytes.Buffer
+	w := NewWriter(&valid, core.RunMeta{SuiteSHA: "abc123", Seed: 42, Kernel: "blocked", Shards: 2})
+	if err := w.Write(core.Record{Kind: core.KindSession, Session: &core.SessionResult{ID: "img-cls", Name: "Image Classification", Epochs: 2}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Write(core.Record{Kind: core.KindScaling, Scaling: &core.ScalingRow{ID: "img-cls", Points: []core.ScalingPoint{{Shards: 1, SecPerEpoch: 0.5, Speedup: 1}}}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+
+	// The forward/backward-compatibility shapes Read promises to handle.
+	f.Add([]byte(`{"v":99,"kind":"session","run":{},"data":{}}`))           // future version → Skipped
+	f.Add([]byte(`{"v":1,"kind":"hologram","run":{},"data":{}}`))           // unknown kind → Skipped
+	f.Add([]byte(`{"id":"img-cls","name":"legacy","kind":0,"epochs":3}`))   // pre-envelope bare SessionResult
+	f.Add([]byte(`{"v":1,"kind":"session","run":{"seed":1},"data":{"id":`)) // truncated mid-line
+	f.Add([]byte(`{"v":1,"kind":"session","run":{},"data":[1,2,3]}`))       // payload of the wrong shape
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting the input is fine; panicking is not
+		}
+		// On success the stream must be internally consistent enough for
+		// every report-rebuild accessor to walk it.
+		if s.Skipped < 0 {
+			t.Fatalf("negative skip count %d", s.Skipped)
+		}
+		total := 0
+		for kind, n := range s.Kinds() {
+			if strings.TrimSpace(string(kind)) == "" {
+				t.Fatalf("decoded record with empty kind")
+			}
+			total += n
+		}
+		if total != len(s.Records) {
+			t.Fatalf("Kinds() counts %d records, stream has %d", total, len(s.Records))
+		}
+		_ = s.Sessions()
+		_ = s.Characterizations()
+		_ = s.Scaling()
+		_ = s.Replays()
+	})
+}
