@@ -40,6 +40,7 @@ import (
 	"aibench/internal/core"
 	"aibench/internal/gpusim"
 	"aibench/internal/results"
+	"aibench/internal/telemetry"
 	"aibench/internal/tensor"
 )
 
@@ -95,6 +96,12 @@ type (
 	RecordKind = core.RecordKind
 	// RunMeta identifies the run behind a persisted result envelope.
 	RunMeta = core.RunMeta
+	// Trace is a telemetry run's deterministic plane: the canonical span
+	// tree plus the counter snapshot, byte-identical across seeded runs.
+	Trace = telemetry.Trace
+	// RunMetrics is a telemetry run's wall-clock plane (span timings,
+	// pool stats, GC/heap gauges), excluded from result comparison.
+	RunMetrics = telemetry.RunMetrics
 )
 
 // The run kinds a Plan can execute.
@@ -115,12 +122,19 @@ const (
 	KindCharacterization = core.KindCharacterization
 	KindScaling          = core.KindScaling
 	KindReplay           = core.KindReplay
+	KindTrace            = core.KindTrace
+	KindRunMetrics       = core.KindRunMetrics
 )
 
 // NewRunner validates the plan against the suite's registry and
 // returns a Runner for it: unknown benchmark ids, unknown kernels, and
 // malformed sweeps are build-time errors, never mid-run panics.
 func (s *Suite) NewRunner(p Plan) (*Runner, error) { return core.NewRunner(s.reg, p) }
+
+// SHA fingerprints the registered benchmark roster (ids, tasks, specs)
+// — the suite_sha of every persisted result envelope and the header of
+// `aibench version`.
+func (s *Suite) SHA() string { return s.reg.SHA() }
 
 // Session kinds.
 const (

@@ -13,6 +13,8 @@
 //	aibench-report table5 figure4                # a subset of them
 //	aibench-report -from results.jsonl           # every run report in the file
 //	aibench-report -from results.jsonl sessions  # one run report, bare
+//	aibench-report -from results.jsonl -trace    # the telemetry trace report
+//	aibench-report -from results.jsonl -trace-out trace.json  # Chrome trace-event export
 package main
 
 import (
@@ -22,13 +24,20 @@ import (
 
 	"aibench"
 	"aibench/internal/results"
+	"aibench/internal/telemetry"
 )
 
 func main() {
 	from := flag.String("from", "", "rebuild run reports from this persisted JSONL result stream instead of regenerating paper reports")
+	trace := flag.Bool("trace", false, "with -from: render the telemetry trace report (deterministic plane + wall-clock columns)")
+	traceOut := flag.String("trace-out", "", "with -from: export the stream's first trace as Chrome trace-event JSON to this file")
 	flag.Parse()
+	if (*trace || *traceOut != "") && *from == "" {
+		fmt.Fprintln(os.Stderr, "-trace and -trace-out require -from")
+		os.Exit(2)
+	}
 	if *from != "" {
-		rebuild(*from, flag.Args())
+		rebuild(*from, flag.Args(), *trace, *traceOut)
 		return
 	}
 	suite := aibench.NewSuite()
@@ -49,8 +58,10 @@ func main() {
 // rebuild renders run reports from a persisted stream. With no names it
 // renders every run report the stream has records for; a single
 // explicit name renders bare (no header), so rebuilt output can be
-// diffed directly against a live run's.
-func rebuild(path string, names []string) {
+// diffed directly against a live run's. -trace forces the telemetry
+// trace report; -trace-out additionally (or, given alone, only) exports
+// the stream's first trace as Chrome trace-event JSON.
+func rebuild(path string, names []string, trace bool, traceOut string) {
 	stream, err := results.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -58,6 +69,15 @@ func rebuild(path string, names []string) {
 	}
 	if stream.Skipped > 0 {
 		fmt.Fprintf(os.Stderr, "note: skipped %d records with an unknown envelope version or kind\n", stream.Skipped)
+	}
+	if traceOut != "" {
+		exportChrome(stream, traceOut)
+		if !trace && len(names) == 0 {
+			return
+		}
+	}
+	if trace {
+		names = []string{"trace"}
 	}
 	kinds := stream.Kinds()
 	if len(names) == 0 {
@@ -84,4 +104,32 @@ func rebuild(path string, names []string) {
 			fmt.Println()
 		}
 	}
+}
+
+// exportChrome writes the stream's first trace + runmetrics pair as
+// Chrome trace-event JSON, loadable in chrome://tracing or
+// ui.perfetto.dev. The span layout (ids, names, tree) comes from the
+// deterministic plane; only the timestamps come from the wall-clock
+// plane.
+func exportChrome(stream *results.Stream, path string) {
+	traces := stream.Traces()
+	metrics := stream.RunMetrics()
+	if len(traces) == 0 || len(metrics) == 0 {
+		fmt.Fprintln(os.Stderr, "no trace/runmetrics records to export (collect them with `aibench run ... -telemetry -out ...`)")
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	werr := telemetry.WriteChrome(f, traces[0], metrics[0])
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "trace export: %v\n", werr)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", path)
 }

@@ -17,6 +17,11 @@
 //	aibench subset
 //	aibench costs
 //	aibench report <table1..table7|figure1a..figure7|all>
+//	aibench version
+//
+// Every run command also accepts -telemetry (collect the two-plane
+// trace/metrics records and print a span summary), -cpuprofile, and
+// -memprofile (runtime/pprof profiles of the run).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,6 +65,8 @@ func main() {
 		cmdCosts(suite)
 	case "report":
 		cmdReport(suite, os.Args[2:])
+	case "version":
+		cmdVersion(suite)
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +74,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|replay|subset|costs|report> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|replay|subset|costs|report|version> [args]")
+}
+
+// cmdVersion prints the header every bug report and trace artifact
+// needs: the roster fingerprint behind each envelope's suite_sha, the
+// toolchain, and the registered compute kernels.
+func cmdVersion(s *aibench.Suite) {
+	fmt.Printf("aibench suite %s\n", s.SHA())
+	fmt.Printf("go: %s  gomaxprocs: %d  os/arch: %s/%s\n",
+		runtime.Version(), runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH)
+	fmt.Printf("kernels: %s (active: %s)\n",
+		strings.Join(aibench.KernelNames(), ", "), aibench.ActiveKernel())
 }
 
 // kernelFlag registers the -kernel flag shared by the training
@@ -81,6 +100,71 @@ func kernelFlag(fs *flag.FlagSet) *string {
 // outFlag registers the -out flag shared by every run command.
 func outFlag(fs *flag.FlagSet) *string {
 	return fs.String("out", "", "stream each record to this JSONL file as a versioned envelope")
+}
+
+// runOpts carries the observability flags shared by every run command.
+type runOpts struct {
+	telemetry *bool
+	cpu, mem  *string
+}
+
+// runOptsFlags registers -telemetry/-cpuprofile/-memprofile.
+func runOptsFlags(fs *flag.FlagSet) runOpts {
+	return runOpts{
+		telemetry: fs.Bool("telemetry", false, "collect two-plane trace/metrics records and print a span summary"),
+		cpu:       fs.String("cpuprofile", "", "write a CPU profile of the run to this file"),
+		mem:       fs.String("memprofile", "", "write a heap profile to this file after the run"),
+	}
+}
+
+// startProfiles begins the requested pprof captures; the returned stop
+// finishes them. runPlan calls stop right after the run completes so
+// the profiles survive callers that os.Exit (which skips defers).
+func startProfiles(opts runOpts) func() {
+	var cpuFile *os.File
+	if opts.cpu != nil && *opts.cpu != "" {
+		f, err := os.Create(*opts.cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", *opts.cpu, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if opts.mem != nil && *opts.mem != "" {
+			f, err := os.Create(*opts.mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}
+}
+
+// printTrace renders the telemetry span summary after the command's
+// own output when the run collected one (-telemetry).
+func printTrace(res *aibench.RunResult) {
+	if res.Trace != nil {
+		fmt.Println()
+		aibench.RenderRunReport("trace", os.Stdout, res.Records())
+	}
 }
 
 // parseWithID parses fs against args accepting the positional id before,
@@ -103,16 +187,21 @@ func parseWithID(fs *flag.FlagSet, args []string) string {
 	return id
 }
 
-// runPlan validates the plan, wires SIGINT cancellation and the
-// optional JSONL envelope stream, and executes it. Interrupting once
-// stops launching new work (running sessions stop at their next epoch
-// boundary) while partial results still reach the stream; a second
-// Ctrl-C force-quits because default signal handling is restored after
-// the first. Returns the run's results, how many records were
-// persisted, and the run error (a failed sink — a full disk, say — or
-// output-file close): callers render the partial results they have,
-// then pass it to exitOnRunError.
-func runPlan(s *aibench.Suite, p aibench.Plan, out string) (*aibench.RunResult, int, error) {
+// runPlan validates the plan, wires SIGINT cancellation, the optional
+// JSONL envelope stream, and the observability opts (-telemetry flips
+// Plan.Telemetry; profiles bracket the run), then executes it.
+// Interrupting once stops launching new work (running sessions stop at
+// their next epoch boundary) while partial results still reach the
+// stream; a second Ctrl-C force-quits because default signal handling
+// is restored after the first. Returns the run's results, how many
+// records were persisted, whether the run was interrupted, and the run
+// error (a failed sink — a full disk, say — or output-file close):
+// callers render the partial results they have, then pass it to
+// exitOnRunError and exit non-zero on interruption.
+func runPlan(s *aibench.Suite, p aibench.Plan, out string, opts runOpts) (*aibench.RunResult, int, bool, error) {
+	if opts.telemetry != nil && *opts.telemetry {
+		p.Telemetry = true
+	}
 	runner, err := s.NewRunner(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -138,7 +227,10 @@ func runPlan(s *aibench.Suite, p aibench.Plan, out string) (*aibench.RunResult, 
 		sink = w.Write
 	}
 
+	stopProfiles := startProfiles(opts)
 	res, runErr := runner.Run(ctx, sink)
+	stopProfiles()
+	interrupted := ctx.Err() != nil
 	written := 0
 	if outFile != nil {
 		written = w.Count()
@@ -146,7 +238,7 @@ func runPlan(s *aibench.Suite, p aibench.Plan, out string) (*aibench.RunResult, 
 			runErr = err
 		}
 	}
-	return res, written, runErr
+	return res, written, interrupted, runErr
 }
 
 // exitOnRunError reports a run error — persistence failed mid-run, so
@@ -179,9 +271,10 @@ func cmdRun(s *aibench.Suite, args []string) {
 	shards := fs.Int("shards", 0, "data-parallel shard workers (0 = serial; results are bitwise identical for any count)")
 	kernel := kernelFlag(fs)
 	out := outFlag(fs)
+	opts := runOptsFlags(fs)
 	id := parseWithID(fs, args)
 	if id == "" {
-		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K] [-out F]")
+		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K] [-telemetry] [-out F]")
 		os.Exit(2)
 	}
 	if s.Benchmark(id) == nil {
@@ -192,14 +285,14 @@ func cmdRun(s *aibench.Suite, args []string) {
 	if *quasi {
 		kind = aibench.QuasiEntireSession
 	}
-	res, written, runErr := runPlan(s, aibench.Plan{
+	res, written, interrupted, runErr := runPlan(s, aibench.Plan{
 		Kind: aibench.RunSession, Benchmarks: []string{id}, Session: kind,
 		Seed: *seed, Epochs: *epochs, Shards: *shards, Kernel: *kernel, Log: os.Stdout,
-	}, *out)
+	}, *out, opts)
 	if len(res.Sessions) == 0 || res.Sessions[0].ID == "" {
-		fmt.Println("interrupted before the session started")
 		exitOnRunError(runErr)
-		return
+		fmt.Fprintln(os.Stderr, "interrupted before the session started")
+		os.Exit(1)
 	}
 	r := res.Sessions[0]
 	if r.FallbackReason != "" {
@@ -207,9 +300,14 @@ func cmdRun(s *aibench.Suite, args []string) {
 	}
 	fmt.Printf("\n%s (%s): epochs=%d quality=%.4f target=%.4f reached=%v shards=%d kernel=%s\n",
 		r.ID, r.Name, r.Epochs, r.FinalQuality, r.Target, r.ReachedGoal, r.Shards, r.Kernel)
+	printTrace(res)
 	exitOnRunError(runErr)
 	if *out != "" {
 		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted after %d epochs\n", r.Epochs)
+		os.Exit(1)
 	}
 }
 
@@ -222,6 +320,7 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	shards := fs.Int("shards", 0, "data-parallel shard workers per session (0 = serial)")
 	kernel := kernelFlag(fs)
 	out := outFlag(fs)
+	opts := runOptsFlags(fs)
 	verbose := fs.Bool("v", false, "stream per-epoch progress from every session")
 	fs.Parse(args)
 	kind := aibench.EntireSession
@@ -241,30 +340,34 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	}
 
 	start := time.Now()
-	res, written, runErr := runPlan(s, plan, *out)
+	res, written, interrupted, runErr := runPlan(s, plan, *out, opts)
 	elapsed := time.Since(start)
 	if *verbose {
 		fmt.Println()
 	}
 	aibench.RenderRunReport("sessions", os.Stdout, res.Records())
-	reached, ran := 0, 0
+	reached, ran, ranEpochs := 0, 0, 0
 	for _, r := range res.Sessions {
 		if r.ID == "" {
 			continue // session never launched (run interrupted)
 		}
 		ran++
+		ranEpochs += r.Epochs
 		if r.ReachedGoal {
 			reached++
 		}
 	}
 	fmt.Printf("\n%d/%d sessions reached their target in %s (workers=%d kernel=%s)\n",
 		reached, ran, elapsed.Round(time.Millisecond), width, aibench.ActiveKernel())
-	if ran < len(res.Sessions) {
-		fmt.Printf("interrupted: %d sessions never launched\n", len(res.Sessions)-ran)
-	}
+	printTrace(res)
 	exitOnRunError(runErr)
 	if *out != "" {
 		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted after %d epochs across %d sessions (%d sessions never launched)\n",
+			ranEpochs, ran, len(res.Sessions)-ran)
+		os.Exit(1)
 	}
 }
 
@@ -277,6 +380,7 @@ func cmdScaling(s *aibench.Suite, args []string) {
 	seed := fs.Int64("seed", 42, "base seed")
 	kernel := kernelFlag(fs)
 	out := outFlag(fs)
+	opts := runOptsFlags(fs)
 	id := parseWithID(fs, args)
 	var shards []int
 	for _, tok := range strings.Split(*shardsCSV, ",") {
@@ -300,20 +404,35 @@ func cmdScaling(s *aibench.Suite, args []string) {
 		}
 		ids = []string{id}
 	}
-	res, written, runErr := runPlan(s, aibench.Plan{
+	res, written, interrupted, runErr := runPlan(s, aibench.Plan{
 		Kind: aibench.RunScaling, Benchmarks: ids, ShardSweep: shards,
 		Epochs: *epochs, Seed: *seed, Kernel: *kernel,
-	}, *out)
+	}, *out, opts)
 	if len(res.Scaling) == 0 {
+		if interrupted {
+			exitOnRunError(runErr)
+			fmt.Fprintln(os.Stderr, "interrupted before any scaling point was measured")
+			os.Exit(1)
+		}
 		fmt.Println("no shardable benchmarks selected")
 		exitOnRunError(runErr)
 		return
 	}
 	aibench.RenderRunReport("scaling", os.Stdout, res.Records())
 	fmt.Println("\n(identical losses at every shard count; speedup is pure scheduling gain)")
+	printTrace(res)
 	exitOnRunError(runErr)
 	if *out != "" {
 		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
+	}
+	if interrupted {
+		points := 0
+		for _, row := range res.Scaling {
+			points += len(row.Points)
+		}
+		fmt.Fprintf(os.Stderr, "interrupted after %d epochs (%d scaling points measured); results above are partial\n",
+			points**epochs, points)
+		os.Exit(1)
 	}
 }
 
@@ -322,6 +441,7 @@ func cmdCharacterize(s *aibench.Suite, args []string) {
 	gpu := fs.String("gpu", "xp", "device: xp (Titan XP) or rtx (Titan RTX)")
 	workers := fs.Int("workers", 0, "pool width for `characterize all` (0 = GOMAXPROCS)")
 	out := outFlag(fs)
+	opts := runOptsFlags(fs)
 	id := parseWithID(fs, args)
 	if id == "" {
 		fmt.Fprintln(os.Stderr, "usage: aibench characterize <id|all> [-gpu xp|rtx] [-workers N] [-out F]")
@@ -339,9 +459,10 @@ func cmdCharacterize(s *aibench.Suite, args []string) {
 		}
 		plan.Benchmarks = []string{id}
 	}
-	res, written, runErr := runPlan(s, plan, *out)
+	res, written, _, runErr := runPlan(s, plan, *out, opts)
 	if id == "all" {
 		aibench.RenderRunReport("characterizations", os.Stdout, res.Records())
+		printTrace(res)
 		exitOnRunError(runErr)
 		if *out != "" {
 			fmt.Printf("\nresults streamed to %s (%d JSONL lines)\n", *out, written)
@@ -351,7 +472,7 @@ func cmdCharacterize(s *aibench.Suite, args []string) {
 	if len(res.Characterizations) == 0 || res.Characterizations[0].ID == "" {
 		fmt.Println("interrupted before the characterization started")
 		exitOnRunError(runErr)
-		return
+		os.Exit(1)
 	}
 	c := res.Characterizations[0]
 	fmt.Printf("%s — %s on %s\n", c.ID, c.Task, dev.Name)
@@ -386,6 +507,7 @@ func cmdCharacterize(s *aibench.Suite, args []string) {
 		}
 		fmt.Printf("    %-55s %5.1f%% (%d calls)\n", h.Name, h.Share*100, h.Calls)
 	}
+	printTrace(res)
 	exitOnRunError(runErr)
 	if *out != "" {
 		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
@@ -399,6 +521,7 @@ func cmdReplay(s *aibench.Suite, args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "base seed; per-benchmark seeds are derived deterministically")
 	out := outFlag(fs)
+	opts := runOptsFlags(fs)
 	id := parseWithID(fs, args)
 	var ids []string
 	if id != "" && id != "all" {
@@ -408,15 +531,16 @@ func cmdReplay(s *aibench.Suite, args []string) {
 		}
 		ids = []string{id}
 	}
-	res, written, runErr := runPlan(s, aibench.Plan{
+	res, written, _, runErr := runPlan(s, aibench.Plan{
 		Kind: aibench.RunReplay, Benchmarks: ids, Seed: *seed,
-	}, *out)
+	}, *out, opts)
 	aibench.RenderRunReport("replays", os.Stdout, res.Records())
 	total := 0.0
 	for _, r := range res.Replays {
 		total += r.Hours
 	}
 	fmt.Printf("\ntotal replayed cost: %.2f h over %d sessions\n", total, len(res.Replays))
+	printTrace(res)
 	exitOnRunError(runErr)
 	if *out != "" {
 		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)

@@ -26,6 +26,10 @@ var deterministicPackages = map[string]bool{
 	"aibench/internal/stats":    true, // quasi-replay sampling: seeded streams only
 	"aibench/internal/dist":     true,
 	"aibench/internal/core":     true,
+	// telemetry's deterministic plane (span tree, counters) feeds trace
+	// records; its wall-clock plane lives in wallclock.go behind
+	// per-line //lint:allow suppressions with the rationale inline.
+	"aibench/internal/telemetry": true,
 }
 
 // resultAffectingPackages produce, persist, or render result records;
@@ -38,6 +42,7 @@ var resultAffectingPackages = map[string]bool{
 	"aibench/internal/results":      true,
 	"aibench/internal/dist":         true,
 	"aibench/internal/models":       true,
+	"aibench/internal/telemetry":    true, // trace records are persisted and byte-diffed in CI
 	"aibench/cmd/aibench":           true,
 	"aibench/cmd/aibench-report":    true,
 	"aibench/cmd/aibench-benchjson": true,

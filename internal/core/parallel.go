@@ -9,6 +9,7 @@ import (
 
 	"aibench/internal/gpusim"
 	"aibench/internal/parallel"
+	"aibench/internal/telemetry"
 )
 
 // DeriveSeed deterministically derives a per-benchmark seed from the
@@ -62,7 +63,7 @@ func RunSuiteScaledStream(ctx context.Context, bs []*Benchmark, cfg SessionConfi
 	if sink != nil {
 		s = func(r SessionResult) error { sink(r); return nil }
 	}
-	out, err := runSuiteSessions(ctx, bs, cfg, workers, s)
+	out, err := runSuiteSessions(ctx, bs, cfg, workers, nil, s)
 	if err != nil {
 		// The adapted sink never fails, so the only error source is the
 		// per-session kernel validation — the legacy panic contract.
@@ -75,8 +76,11 @@ func RunSuiteScaledStream(ctx context.Context, bs []*Benchmark, cfg SessionConfi
 // facade and the Plan Runner: each benchmark trains with its derived
 // seed under the shared context, and sink errors (a full disk while
 // persisting, say) cancel the remaining sessions and surface as the
-// returned error rather than vanishing.
-func runSuiteSessions(ctx context.Context, bs []*Benchmark, cfg SessionConfig, workers int, sink func(SessionResult) error) ([]SessionResult, error) {
+// returned error rather than vanishing. Each session's spans hang
+// under a per-benchmark child of root (nil disables tracing); the
+// benchmark ids give concurrent siblings the distinct names the
+// telemetry canonicalization contract requires.
+func runSuiteSessions(ctx context.Context, bs []*Benchmark, cfg SessionConfig, workers int, root *telemetry.Span, sink func(SessionResult) error) ([]SessionResult, error) {
 	base := cfg
 	if cfg.Log != nil {
 		base.Log = &syncWriter{w: cfg.Log}
@@ -98,7 +102,9 @@ func runSuiteSessions(ctx context.Context, bs []*Benchmark, cfg SessionConfig, w
 	pool.ForEachCtx(ctx, len(bs), func(i int) {
 		c := base
 		c.Seed = DeriveSeed(cfg.Seed, bs[i].ID)
+		c.trace = root.Child(bs[i].ID)
 		r, err := bs[i].runSession(ctx, c)
+		c.trace.End()
 		if err != nil {
 			fail(err)
 			return
@@ -121,7 +127,7 @@ func runSuiteSessions(ctx context.Context, bs []*Benchmark, cfg SessionConfig, w
 // order. Characterization is analytic and per-benchmark independent,
 // so the parallel run is exactly CharacterizeSuite, faster.
 func CharacterizeSuiteParallel(bs []*Benchmark, dev gpusim.Device, workers int) []Characterization {
-	out, _ := characterizeSuite(context.Background(), bs, dev, workers, nil)
+	out, _ := characterizeSuite(context.Background(), bs, dev, workers, nil, nil)
 	return out
 }
 
@@ -130,7 +136,7 @@ func CharacterizeSuiteParallel(bs []*Benchmark, dev gpusim.Device, workers int) 
 // order (cancelled slots zero-valued), each completed characterization
 // streams through sink, and a sink error cancels the remaining work
 // and is returned.
-func characterizeSuite(ctx context.Context, bs []*Benchmark, dev gpusim.Device, workers int, sink func(Characterization) error) ([]Characterization, error) {
+func characterizeSuite(ctx context.Context, bs []*Benchmark, dev gpusim.Device, workers int, root *telemetry.Span, sink func(Characterization) error) ([]Characterization, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := make([]Characterization, len(bs))
@@ -146,7 +152,9 @@ func characterizeSuite(ctx context.Context, bs []*Benchmark, dev gpusim.Device, 
 	}
 	pool := parallel.New(workers)
 	pool.ForEachCtx(ctx, len(bs), func(i int) {
+		span := root.Child(bs[i].ID)
 		c := bs[i].Characterize(dev)
+		span.End()
 		out[i] = c
 		if sink != nil {
 			mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"aibench/internal/gpusim"
+	"aibench/internal/telemetry"
 	"aibench/internal/tensor"
 )
 
@@ -84,6 +85,13 @@ type Plan struct {
 	Device gpusim.Device
 	// Log receives per-epoch progress lines from training sessions.
 	Log io.Writer
+	// Telemetry turns on the run's tracing and metrics collection: the
+	// engines emit a span tree plus deterministic counters (see
+	// internal/telemetry's two-plane contract), attached to the
+	// RunResult and delivered through the sink as trailing "trace" and
+	// "runmetrics" records. Collection is process-global (like kernel
+	// selection): at most one telemetry run per process at a time.
+	Telemetry bool
 }
 
 // RunMeta identifies the run that produced a persisted record: the
@@ -109,6 +117,11 @@ const (
 	KindCharacterization RecordKind = "characterization"
 	KindScaling          RecordKind = "scaling"
 	KindReplay           RecordKind = "replay"
+	// KindTrace carries a telemetry run's deterministic plane (span tree
+	// + counters); KindRunMetrics its wall-clock plane. A telemetry run
+	// emits one of each after its result records.
+	KindTrace      RecordKind = "trace"
+	KindRunMetrics RecordKind = "runmetrics"
 )
 
 // Record is the typed union every run kind emits through the sink:
@@ -119,6 +132,8 @@ type Record struct {
 	Characterization *Characterization
 	Scaling          *ScalingRow
 	Replay           *ReplaySession
+	Trace            *telemetry.Trace
+	RunMetrics       *telemetry.RunMetrics
 }
 
 // Payload returns the record's typed data for encoding; nil when the
@@ -141,6 +156,14 @@ func (r Record) Payload() any {
 		if r.Replay != nil {
 			return r.Replay
 		}
+	case KindTrace:
+		if r.Trace != nil {
+			return r.Trace
+		}
+	case KindRunMetrics:
+		if r.RunMetrics != nil {
+			return r.RunMetrics
+		}
 	}
 	return nil
 }
@@ -155,6 +178,10 @@ type RunResult struct {
 	Characterizations []Characterization
 	Scaling           []ScalingRow
 	Replays           []ReplaySession
+	// Trace and Metrics carry the run's two telemetry planes; nil unless
+	// the plan set Telemetry.
+	Trace   *telemetry.Trace
+	Metrics *telemetry.RunMetrics
 }
 
 // Records flattens the result into sink-shaped records, skipping
@@ -176,6 +203,12 @@ func (r *RunResult) Records() []Record {
 	}
 	for i := range r.Replays {
 		out = append(out, Record{Kind: KindReplay, Replay: &r.Replays[i]})
+	}
+	if r.Trace != nil {
+		out = append(out, Record{Kind: KindTrace, Trace: r.Trace})
+	}
+	if r.Metrics != nil {
+		out = append(out, Record{Kind: KindRunMetrics, RunMetrics: r.Metrics})
 	}
 	return out
 }
@@ -291,6 +324,43 @@ func (r *Runner) Run(ctx context.Context, sink func(Record) error) (*RunResult, 
 		}
 	}
 	res := &RunResult{Kind: r.plan.Kind}
+	if !r.plan.Telemetry {
+		err := r.runKind(ctx, sink, nil, res)
+		return res, err
+	}
+
+	tr := telemetry.Start(r.plan.Kind.String())
+	counted := sink
+	if sink != nil {
+		// Count records after their sink accepted them, through the
+		// wrapper, so the trailing trace/runmetrics records (emitted via
+		// the raw sink below) don't count themselves.
+		counted = func(rec Record) error {
+			if err := sink(rec); err != nil {
+				return err
+			}
+			telemetry.Count(telemetry.CounterSinkRecords, 1)
+			return nil
+		}
+	}
+	err := r.runKind(ctx, counted, tr.Root(), res)
+	res.Trace, res.Metrics = tr.Stop()
+	if err != nil || sink == nil {
+		return res, err
+	}
+	if serr := sink(Record{Kind: KindTrace, Trace: res.Trace}); serr != nil {
+		return res, serr
+	}
+	if serr := sink(Record{Kind: KindRunMetrics, RunMetrics: res.Metrics}); serr != nil {
+		return res, serr
+	}
+	return res, nil
+}
+
+// runKind dispatches the plan's kind through its engine, hanging
+// telemetry spans under root (nil when telemetry is off) and filling
+// res in place.
+func (r *Runner) runKind(ctx context.Context, sink func(Record) error, root *telemetry.Span, res *RunResult) error {
 	switch r.plan.Kind {
 	case RunSession:
 		cfg := SessionConfig{
@@ -303,9 +373,9 @@ func (r *Runner) Run(ctx context.Context, sink func(Record) error) (*RunResult, 
 				return sink(Record{Kind: KindSession, Session: &sr})
 			}
 		}
-		out, err := runSuiteSessions(ctx, r.bs, cfg, r.plan.Workers, s)
+		out, err := runSuiteSessions(ctx, r.bs, cfg, r.plan.Workers, root, s)
 		res.Sessions = out
-		return res, err
+		return err
 
 	case RunCharacterize:
 		var s func(Characterization) error
@@ -314,9 +384,9 @@ func (r *Runner) Run(ctx context.Context, sink func(Record) error) (*RunResult, 
 				return sink(Record{Kind: KindCharacterization, Characterization: &c})
 			}
 		}
-		out, err := characterizeSuite(ctx, r.bs, r.plan.Device, r.plan.Workers, s)
+		out, err := characterizeSuite(ctx, r.bs, r.plan.Device, r.plan.Workers, root, s)
 		res.Characterizations = out
-		return res, err
+		return err
 
 	case RunScaling:
 		var s func(ScalingRow) error
@@ -325,24 +395,26 @@ func (r *Runner) Run(ctx context.Context, sink func(Record) error) (*RunResult, 
 				return sink(Record{Kind: KindScaling, Scaling: &row})
 			}
 		}
-		rows, err := scalingReport(ctx, r.bs, r.plan.ShardSweep, r.plan.Epochs, r.plan.Seed, s)
+		rows, err := scalingReport(ctx, r.bs, r.plan.ShardSweep, r.plan.Epochs, r.plan.Seed, root, s)
 		res.Scaling = rows
-		return res, err
+		return err
 
 	case RunReplay:
 		for _, b := range r.bs {
 			if ctx.Err() != nil {
 				break
 			}
+			bspan := root.Child(b.ID)
 			rs := b.RunReplaySession(DeriveSeed(r.plan.Seed, b.ID))
+			bspan.End()
 			res.Replays = append(res.Replays, rs)
 			if sink != nil {
 				if err := sink(Record{Kind: KindReplay, Replay: &rs}); err != nil {
-					return res, err
+					return err
 				}
 			}
 		}
-		return res, nil
+		return nil
 	}
-	return nil, fmt.Errorf("core: unreachable run kind %v", r.plan.Kind) // NewRunner validated Kind
+	return fmt.Errorf("core: unreachable run kind %v", r.plan.Kind) // NewRunner validated Kind
 }

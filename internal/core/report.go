@@ -22,7 +22,7 @@ import (
 // RunReportNames lists the run reports rebuildable from persisted
 // records, in render order.
 func RunReportNames() []string {
-	return []string{"sessions", "characterizations", "scaling", "replays"}
+	return []string{"sessions", "characterizations", "scaling", "replays", "trace"}
 }
 
 // RunReportKind maps a run-report name to the record kind it renders;
@@ -37,6 +37,8 @@ func RunReportKind(name string) (RecordKind, bool) {
 		return KindScaling, true
 	case "replays":
 		return KindReplay, true
+	case "trace":
+		return KindTrace, true
 	}
 	return "", false
 }
@@ -78,6 +80,8 @@ func RenderRunRecords(name string, w io.Writer, recs []Record) bool {
 			}
 		}
 		RenderReplays(w, rs)
+	case "trace":
+		RenderTraces(w, recs)
 	default:
 		return false
 	}

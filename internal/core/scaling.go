@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"aibench/internal/dist"
+	"aibench/internal/telemetry"
 )
 
 // ScalingPoint is one measured shard count of a benchmark's scaling
@@ -32,7 +34,7 @@ type ScalingRow struct {
 // sweep measures pure scheduling gain. Benchmarks without a shardable
 // train step are skipped.
 func ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []ScalingRow {
-	rows, _ := scalingReport(context.Background(), bs, shards, epochs, seed, nil)
+	rows, _ := scalingReport(context.Background(), bs, shards, epochs, seed, nil, nil)
 	return rows
 }
 
@@ -41,7 +43,7 @@ func ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []Scal
 // at every timed epoch boundary (a row is never emitted
 // half-measured), and each completed row streams through sink; a sink
 // error stops the sweep and is returned with the rows measured so far.
-func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs int, seed int64, sink func(ScalingRow) error) ([]ScalingRow, error) {
+func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs int, seed int64, root *telemetry.Span, sink func(ScalingRow) error) ([]ScalingRow, error) {
 	if epochs <= 0 {
 		epochs = 2
 	}
@@ -53,15 +55,17 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 		if !b.Shardable() {
 			continue
 		}
-		baseline, ok := timeShardedEpochs(ctx, b, 1, epochs, seed)
+		bspan := root.Child(b.ID)
+		baseline, ok := timeShardedEpochs(ctx, b, 1, epochs, seed, bspan)
 		if !ok {
+			bspan.End()
 			break
 		}
 		row := ScalingRow{ID: b.ID, Name: b.Task}
 		for _, n := range shards {
 			sec := baseline
 			if n != 1 {
-				if sec, ok = timeShardedEpochs(ctx, b, n, epochs, seed); !ok {
+				if sec, ok = timeShardedEpochs(ctx, b, n, epochs, seed, bspan); !ok {
 					break
 				}
 			}
@@ -69,6 +73,7 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 				Shards: n, SecPerEpoch: sec, Speedup: baseline / sec,
 			})
 		}
+		bspan.End()
 		if !ok {
 			break // cancelled mid-sweep: drop the half-measured row
 		}
@@ -87,11 +92,17 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 // was cancelled before the measurement completed (the Plan Runner's
 // epoch-boundary cancellation contract — a cancelled sweep must not
 // train out its epoch budget).
-func timeShardedEpochs(ctx context.Context, b *Benchmark, n, epochs int, seed int64) (sec float64, ok bool) {
+func timeShardedEpochs(ctx context.Context, b *Benchmark, n, epochs int, seed int64, parent *telemetry.Span) (sec float64, ok bool) {
 	eng, err := dist.New(b.Factory, DeriveSeed(seed, b.ID), dist.NewLocal(n))
 	if err != nil {
 		return 0, true
 	}
+	// Each measured shard count gets its own span; its value is the
+	// epoch count it timed, and the engine's per-step phase spans nest
+	// under it.
+	span := parent.Child(fmt.Sprintf("shards=%d", n))
+	defer span.End()
+	eng.SetSpan(span)
 	// The sweep's whole point is measuring wall-clock per epoch; the
 	// duration is the datum and never feeds training state.
 	start := time.Now() //lint:allow seedpurity scaling measures wall-clock per epoch; durations are the measurement, not training state
@@ -100,6 +111,8 @@ func timeShardedEpochs(ctx context.Context, b *Benchmark, n, epochs int, seed in
 			return 0, false
 		}
 		eng.TrainEpoch()
+		telemetry.Count(telemetry.CounterEpochs, 1)
 	}
+	span.Add(int64(epochs))
 	return time.Since(start).Seconds() / float64(epochs), true
 }

@@ -7,6 +7,7 @@ import (
 
 	"aibench/internal/dist"
 	"aibench/internal/models"
+	"aibench/internal/telemetry"
 	"aibench/internal/tensor"
 )
 
@@ -46,6 +47,10 @@ type SessionConfig struct {
 	// name up front and returns an error instead.
 	Kernel string
 	Log    io.Writer // optional progress stream
+	// trace, when set by the Plan Runner, is the session's benchmark
+	// span: the epoch loop hangs per-epoch spans under it, and sharded
+	// trainers nest their phase spans under each epoch's.
+	trace *telemetry.Span
 }
 
 // SessionResult records one scaled training session.
@@ -156,15 +161,22 @@ func (b *Benchmark) runSession(ctx context.Context, cfg SessionConfig) (SessionR
 		FallbackReason: fallback, Kernel: tensor.ActiveKernels().Name(),
 		Target: w.ScaledTarget(),
 	}
+	carrier, _ := trainer.(telemetry.SpanCarrier)
 	for ep := 1; ep <= cfg.MaxEpochs; ep++ {
 		if ctx.Err() != nil {
 			res.Interrupted = true
 			break
 		}
+		espan := cfg.trace.Child("epoch")
+		if carrier != nil {
+			carrier.SetSpan(espan)
+		}
 		loss := trainer.TrainEpoch()
+		telemetry.Count(telemetry.CounterEpochs, 1)
 		res.Losses = append(res.Losses, loss)
 		res.Epochs = ep
 		q := trainer.Quality()
+		espan.End()
 		res.FinalQuality = q
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "%s epoch %d: loss=%.4f quality=%.4f\n", b.ID, ep, loss, q)

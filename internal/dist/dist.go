@@ -36,6 +36,7 @@ import (
 
 	"aibench/internal/models"
 	"aibench/internal/nn"
+	"aibench/internal/telemetry"
 	"aibench/internal/tensor"
 )
 
@@ -89,7 +90,17 @@ type Engine struct {
 	gradScratch [][][]float64 // [rank][k]: paramLen-capacity per-grain vectors
 	bufScratch  [][][]float64 // [rank][k]: buffer captures of the rank's k-th grain
 	scratch     []phaseScratch
+
+	// span, when set, is the parent subsequent steps hang their
+	// phase/allreduce/bufsync telemetry spans under; nil (the default)
+	// disables span creation entirely.
+	span *telemetry.Span
 }
+
+// SetSpan implements telemetry.SpanCarrier: the session engine hands
+// the engine each epoch's span so per-step phase spans nest under the
+// right epoch. Call between epochs, never mid-step.
+func (e *Engine) SetSpan(s *telemetry.Span) { e.span = s }
 
 // New builds a data-parallel engine for the factory's benchmark: one
 // replica per backend rank, every replica constructed from the same
@@ -227,9 +238,11 @@ func (e *Engine) Quality() float64 {
 // declared order — compute grains, all-reduce the phase group, apply —
 // so later phases observe earlier phases' parameter updates.
 func (e *Engine) step() float64 {
+	span := e.span.Child("step")
+	defer span.End()
 	total, reporting := 0.0, 0
 	for p := range e.phases {
-		loss := e.runPhase(p)
+		loss := e.runPhase(p, span)
 		if e.phases[p].Report {
 			total += loss
 			reporting++
@@ -239,8 +252,12 @@ func (e *Engine) step() float64 {
 }
 
 // runPhase executes one phase of the current step and returns the
-// phase's reduced loss.
-func (e *Engine) runPhase(p int) float64 {
+// phase's reduced loss. Telemetry spans hang off parent (nil disables):
+// a "phase:<name>" span with compute/allreduce/bufsync/apply children,
+// the reduce spans carrying the float counts they combined.
+func (e *Engine) runPhase(p int, parent *telemetry.Span) float64 {
+	span := parent.Child("phase:" + e.phases[p].Name)
+	defer span.End()
 	w := e.backend.Workers()
 	plen := e.groupLen[p]
 	e.snapshotBuffers()
@@ -250,6 +267,7 @@ func (e *Engine) runPhase(p int) float64 {
 	// forward/backward for its round-robin share of grains, recording
 	// each grain's phase-group gradient and buffer capture in
 	// isolation.
+	cspan := span.Child("compute")
 	e.backend.Run(func(r int) {
 		grains := e.replicas[r].BeginPhase(p)
 		e.grainCount[r] = len(grains)
@@ -270,8 +288,11 @@ func (e *Engine) runPhase(p int) float64 {
 		}
 	})
 
+	cspan.End()
+
 	// Gather grains in canonical order and all-reduce.
 	total := e.grainCount[0]
+	telemetry.Count(telemetry.CounterGrains, int64(total))
 	for r := 1; r < w; r++ {
 		if e.grainCount[r] != total {
 			panic(fmt.Sprintf("dist: phase %q: replica %d produced %d grains, replica 0 produced %d",
@@ -303,25 +324,39 @@ func (e *Engine) runPhase(p int) float64 {
 		sc.scalars[g][0] = gr.loss
 		sc.weights[g] = float64(gr.n) / float64(samples)
 	}
+	// The gradient reduce and the loss-scalar reduce are two rounds over
+	// total grains of plen and 1 floats respectively.
+	rspan := span.Child("allreduce")
 	Reduce(e.reduction, sc.vecs, sc.weights, e.reduced[:plen])
 	var lossOut [1]float64
 	Reduce(e.reduction, sc.scalars, sc.weights, lossOut[:])
+	rspan.Add(int64(total) * int64(plen+1))
+	rspan.End()
+	telemetry.Count(telemetry.CounterReduceRounds, 2)
+	telemetry.Count(telemetry.CounterReduceFloats, int64(total)*int64(plen+1))
 	phaseLoss := lossOut[0]
 	if e.bufLen > 0 {
+		bspan := span.Child("bufsync")
 		for g, gr := range sc.order {
 			sc.vecs[g] = gr.buf
 		}
 		Reduce(e.reduction, sc.vecs, sc.weights, e.reducedBuf)
+		bspan.Add(int64(total) * int64(e.bufLen))
+		bspan.End()
+		telemetry.Count(telemetry.CounterReduceRounds, 1)
+		telemetry.Count(telemetry.CounterReduceFloats, int64(total)*int64(e.bufLen))
 	}
 
 	// Apply: install the reduced gradient (and buffer state) on every
 	// replica and apply the identical phase update, keeping replicas
 	// bitwise in lockstep.
+	aspan := span.Child("apply")
 	e.backend.Run(func(r int) {
 		e.installGrads(r, p)
 		e.installBuffers(r)
 		e.replicas[r].ApplyPhase(p)
 	})
+	aspan.End()
 	return phaseLoss
 }
 

@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"aibench/internal/telemetry"
 )
 
 // extraTokens is the process-wide budget of extra workers beyond each
@@ -143,6 +145,12 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int)) {
 	extra := 0
 	for extra < workers-1 && tryAcquire() {
 		extra++
+	}
+	// Telemetry's wall-clock plane records how well parallel sections
+	// fared against the process-wide budget; nil (one atomic load) when
+	// no tracer is active.
+	if poolDone := telemetry.PoolBegin(workers-1, extra); poolDone != nil {
+		defer poolDone()
 	}
 	if extra == 0 {
 		for i := 0; i < n && !halted(); i++ {

@@ -27,6 +27,13 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	}
 	f.Add(valid.Bytes())
 
+	// Telemetry envelopes: a valid trace + runmetrics pair, and hostile
+	// variants (span ids out of range, counters of the wrong type).
+	f.Add([]byte(`{"v":1,"kind":"trace","run":{},"data":{"kind":"session","spans":[{"id":0,"parent":-1,"name":"run"},{"id":1,"parent":0,"name":"DC-AI-C1","seq":0}],"counters":{"epochs":2,"grains":16,"reduce_rounds":4,"reduce_floats":1024,"sink_records":2,"kernel":[{"op":"matmul","calls":4,"flops":2048}]}}}` + "\n" +
+		`{"v":1,"kind":"runmetrics","run":{},"data":{"kind":"session","wall_ns":5000000,"gomaxprocs":2,"pool":{},"spans":[{"id":0,"dur_ns":5000000},{"id":1,"start_ns":1000,"dur_ns":400000}]}}`))
+	f.Add([]byte(`{"v":1,"kind":"trace","run":{},"data":{"spans":[{"id":9999,"parent":-7,"name":""}]}}`))
+	f.Add([]byte(`{"v":1,"kind":"trace","run":{},"data":{"counters":"not an object"}}`))
+
 	// The forward/backward-compatibility shapes Read promises to handle.
 	f.Add([]byte(`{"v":99,"kind":"session","run":{},"data":{}}`))           // future version → Skipped
 	f.Add([]byte(`{"v":1,"kind":"hologram","run":{},"data":{}}`))           // unknown kind → Skipped
@@ -61,5 +68,7 @@ func FuzzEnvelopeDecode(f *testing.F) {
 		_ = s.Characterizations()
 		_ = s.Scaling()
 		_ = s.Replays()
+		_ = s.Traces()
+		_ = s.RunMetrics()
 	})
 }

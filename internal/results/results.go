@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"aibench/internal/core"
+	"aibench/internal/telemetry"
 )
 
 // Version is the envelope schema version this package writes.
@@ -177,6 +178,14 @@ func decode(env Envelope) (rec core.Record, known bool, err error) {
 		v := new(core.ReplaySession)
 		err = json.Unmarshal(env.Data, v)
 		rec = core.Record{Kind: core.KindReplay, Replay: v}
+	case core.KindTrace:
+		v := new(telemetry.Trace)
+		err = json.Unmarshal(env.Data, v)
+		rec = core.Record{Kind: core.KindTrace, Trace: v}
+	case core.KindRunMetrics:
+		v := new(telemetry.RunMetrics)
+		err = json.Unmarshal(env.Data, v)
+		rec = core.Record{Kind: core.KindRunMetrics, RunMetrics: v}
 	default:
 		return core.Record{}, false, nil
 	}
@@ -244,6 +253,30 @@ func (s *Stream) Replays() []core.ReplaySession {
 	for _, r := range s.Records {
 		if r.Kind == core.KindReplay && r.Replay != nil {
 			out = append(out, *r.Replay)
+		}
+	}
+	return out
+}
+
+// Traces returns the stream's deterministic-plane trace records in
+// file order.
+func (s *Stream) Traces() []*telemetry.Trace {
+	var out []*telemetry.Trace
+	for _, r := range s.Records {
+		if r.Kind == core.KindTrace && r.Trace != nil {
+			out = append(out, r.Trace)
+		}
+	}
+	return out
+}
+
+// RunMetrics returns the stream's wall-clock-plane records in file
+// order.
+func (s *Stream) RunMetrics() []*telemetry.RunMetrics {
+	var out []*telemetry.RunMetrics
+	for _, r := range s.Records {
+		if r.Kind == core.KindRunMetrics && r.RunMetrics != nil {
+			out = append(out, r.RunMetrics)
 		}
 	}
 	return out

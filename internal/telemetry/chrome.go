@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event exporter: joins a Trace's span tree with its
+// RunMetrics timings into the JSON array format that chrome://tracing
+// and Perfetto load. Each top-level span (a benchmark, usually) gets
+// its own tid lane so concurrent benchmarks render side by side.
+
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts,omitempty"`
+	Dur  float64    `json:"dur,omitempty"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	Args chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	ID    int    `json:"id,omitempty"`
+	Seq   int    `json:"seq,omitempty"`
+	Value int64  `json:"value,omitempty"`
+	Name  string `json:"name,omitempty"`
+}
+
+// WriteChrome renders the trace as Chrome trace-event JSON ("X"
+// complete events, microsecond timestamps). The RunMetrics must come
+// from the same run: its Spans align with the trace's span ids.
+func WriteChrome(w io.Writer, t *Trace, m *RunMetrics) error {
+	if t == nil || m == nil {
+		return fmt.Errorf("telemetry: trace and runmetrics both required for chrome export")
+	}
+	if len(m.Spans) != len(t.Spans) {
+		return fmt.Errorf("telemetry: runmetrics has %d span timings, trace has %d spans", len(m.Spans), len(t.Spans))
+	}
+	// Lane = the top-level ancestor's id (preorder guarantees parent
+	// ids precede child ids, so one forward pass resolves every span).
+	lane := make([]int, len(t.Spans))
+	var events []chromeEvent
+	for i, s := range t.Spans {
+		switch s.Parent {
+		case -1:
+			lane[i] = 0
+		case 0:
+			lane[i] = s.ID
+		default:
+			lane[i] = lane[s.Parent]
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(m.Spans[i].StartNS) / 1e3,
+			Dur:  float64(m.Spans[i].DurNS) / 1e3,
+			PID:  1,
+			TID:  lane[i],
+			Args: chromeArgs{ID: s.ID, Seq: s.Seq, Value: s.Value},
+		})
+	}
+	// Name each lane after its top-level span so the Perfetto track
+	// list reads as benchmark ids rather than bare tids.
+	for i, s := range t.Spans {
+		if s.Parent == -1 || s.Parent == 0 {
+			events = append(events, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				PID:  1,
+				TID:  lane[i],
+				Args: chromeArgs{Name: s.Name},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"aibench/internal/telemetry"
+)
 
 // Conv2DParams describes a 2-D convolution or pooling geometry.
 type Conv2DParams struct {
@@ -104,6 +108,9 @@ func Conv2D(x, weight *Tensor, p Conv2DParams) *Tensor {
 	if weight.shape[1] != x.shape[1] {
 		panic(fmt.Sprintf("tensor: Conv2D input channels %d != weight in-channels %d", x.shape[1], weight.shape[1]))
 	}
+	oh, ow := p.OutDim(x.shape[2]), p.OutDim(x.shape[3])
+	telemetry.CountKernel(telemetry.OpConv2D,
+		2*int64(x.shape[0])*int64(oh)*int64(ow)*int64(x.shape[1])*int64(p.Kernel)*int64(p.Kernel)*int64(weight.shape[0]))
 	return ActiveKernels().Conv2D(x, weight, p)
 }
 

@@ -1,12 +1,18 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"aibench/internal/telemetry"
+)
 
 // The package-level linear-algebra entry points validate shapes and
 // dispatch to the active compute kernel (see Kernels in kernels.go).
 // Implementations live in kernel_naive.go and kernel_blocked.go;
 // selection happens via UseKernels, the AIBENCH_KERNEL environment
-// variable, or the CLI's -kernel flag.
+// variable, or the CLI's -kernel flag. Each entry point is also the
+// telemetry choke point: one gated per-op call/FLOP count covers every
+// kernel implementation.
 
 // MatMul multiplies two 2-D tensors: (m×k) · (k×n) → (m×n).
 func MatMul(a, b *Tensor) *Tensor {
@@ -16,6 +22,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.shape[1] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v vs %v", a.shape, b.shape))
 	}
+	telemetry.CountKernel(telemetry.OpMatMul, 2*int64(a.shape[0])*int64(a.shape[1])*int64(b.shape[1]))
 	return ActiveKernels().MatMul(a, b)
 }
 
@@ -28,6 +35,7 @@ func MatMulT(a, b *Tensor) *Tensor {
 	if a.shape[1] != b.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims differ: %v vs %v", a.shape, b.shape))
 	}
+	telemetry.CountKernel(telemetry.OpMatMulT, 2*int64(a.shape[0])*int64(a.shape[1])*int64(b.shape[0]))
 	return ActiveKernels().MatMulT(a, b)
 }
 
@@ -39,6 +47,7 @@ func TMatMul(a, b *Tensor) *Tensor {
 	if a.shape[0] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims differ: %v vs %v", a.shape, b.shape))
 	}
+	telemetry.CountKernel(telemetry.OpTMatMul, 2*int64(a.shape[1])*int64(a.shape[0])*int64(b.shape[1]))
 	return ActiveKernels().TMatMul(a, b)
 }
 
@@ -62,6 +71,7 @@ func MatVec(a, v *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(v.shape) != 1 || a.shape[1] != v.shape[0] {
 		panic(fmt.Sprintf("tensor: MatVec shapes %v and %v incompatible", a.shape, v.shape))
 	}
+	telemetry.CountKernel(telemetry.OpMatVec, 2*int64(a.shape[0])*int64(a.shape[1]))
 	return ActiveKernels().MatVec(a, v)
 }
 
@@ -70,5 +80,6 @@ func Outer(a, b *Tensor) *Tensor {
 	if len(a.shape) != 1 || len(b.shape) != 1 {
 		panic("tensor: Outer requires 1-D operands")
 	}
+	telemetry.CountKernel(telemetry.OpOuter, int64(a.shape[0])*int64(b.shape[0]))
 	return ActiveKernels().Outer(a, b)
 }
