@@ -21,7 +21,7 @@ import (
 // justification for the paper's choice of exactly three.
 func BenchmarkAblationSubsetSize(b *testing.B) {
 	suite := aibench.NewSuite()
-	cs := aibench.CharacterizeAll(suite.AIBench(), aibench.TitanXP())
+	cs := characterizeAll(b, suite, suite.AIBench(), aibench.TitanXP())
 	_, vecs := core.MetricVectors(cs)
 	for d := 0; d < len(vecs[0]); d++ {
 		col := make([]float64, len(vecs))

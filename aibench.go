@@ -33,11 +33,10 @@
 package aibench
 
 import (
-	"context"
-	"fmt"
 	"io"
 
 	"aibench/internal/core"
+	"aibench/internal/dist"
 	"aibench/internal/gpusim"
 	"aibench/internal/results"
 	"aibench/internal/telemetry"
@@ -193,107 +192,27 @@ func (s *Suite) Characterize(id string, dev Device) Characterization {
 	return s.Benchmark(id).Characterize(dev)
 }
 
-// CharacterizeAll profiles a benchmark list on the device.
-//
-// Deprecated: build a Plan{Kind: RunCharacterize, Benchmarks: ids}
-// instead; the Runner adds context cancellation, worker pooling, and
-// record persistence.
-func CharacterizeAll(bs []*Benchmark, dev Device) []Characterization {
-	return core.CharacterizeSuite(bs, dev)
-}
+// BackendNames lists the registered dist execution backends ("local",
+// "process", ...). Plan.Backend selects one by name for sharded
+// sessions and scaling sweeps; backends are bitwise-equivalent by
+// contract, differing only in where replica compute runs and how big
+// the failure domain is.
+func BackendNames() []string { return dist.Names() }
 
-// mustRun executes a plan on behalf of a deprecated facade, preserving
-// the legacy panic-on-bad-input contract the facades documented.
-func (s *Suite) mustRun(ctx context.Context, p Plan, sink func(Record) error) *RunResult {
-	runner, err := s.NewRunner(p)
-	if err != nil {
-		panic(fmt.Sprintf("aibench: %v", err))
-	}
-	res, err := runner.Run(ctx, sink)
-	if err != nil {
-		panic(fmt.Sprintf("aibench: %v", err))
-	}
-	return res
-}
+// RunDistWorker serves one replica of the process dist backend: it
+// answers the parent engine's frame-protocol requests on r — construct
+// the workload, compute a phase over this rank's grains, apply reduced
+// gradients — writing responses to w until the parent closes the
+// stream. The aibench CLI routes its hidden `worker` subcommand here;
+// an embedder whose own binary hosts the suite must do the same (the
+// process backend re-execs os.Executable with the single argument
+// "worker" and the AIBENCH_DIST_WORKER environment variable set).
+func RunDistWorker(r io.Reader, w io.Writer) error { return dist.WorkerMain(r, w) }
 
-// RunAllScaled executes a scaled training session for all 24 benchmarks
-// across a bounded worker pool (workers <= 0 means GOMAXPROCS) and
-// returns results in registry order (AIBench C1..C17, then MLPerf).
-// Per-benchmark seeds are derived deterministically from cfg.Seed and
-// the benchmark id, so results are bitwise identical for any worker
-// count; cfg.Log, if set, receives safely interleaved progress lines
-// from the concurrent sessions.
-//
-// Deprecated: build a Plan{Kind: RunSession} instead; NewRunner
-// validates up front and returns errors where this facade panics.
-func (s *Suite) RunAllScaled(cfg SessionConfig, workers int) []SessionResult {
-	return s.RunAllScaledStream(context.Background(), cfg, workers, nil)
-}
-
-// RunAllScaledStream is RunAllScaled with completion streaming and
-// cancellation: sink, when non-nil, receives each SessionResult as its
-// session completes (calls are serialized), so long runs can persist
-// partial results; once ctx is cancelled or a session panics, no new
-// session launches. Never-launched slots are zero-valued (empty ID) in
-// the returned slice.
-//
-// Deprecated: build a Plan{Kind: RunSession} and call Runner.Run with a
-// Record sink instead; the Runner's sink can fail (stopping the run)
-// and its records persist through the versioned JSONL envelope.
-func (s *Suite) RunAllScaledStream(ctx context.Context, cfg SessionConfig, workers int, sink func(SessionResult)) []SessionResult {
-	var rsink func(Record) error
-	if sink != nil {
-		rsink = func(rec Record) error {
-			sink(*rec.Session)
-			return nil
-		}
-	}
-	res := s.mustRun(ctx, Plan{
-		Kind: RunSession, Session: cfg.Kind, Seed: cfg.Seed,
-		// The legacy engine coerced non-positive epoch/shard values to
-		// its defaults where the Plan rejects negatives; clamp so old
-		// callers keep the old leniency.
-		Epochs: max(cfg.MaxEpochs, 0), Shards: max(cfg.Shards, 0),
-		Kernel: cfg.Kernel, Workers: workers, Log: cfg.Log,
-	}, rsink)
-	return res.Sessions
-}
-
-// ScalingReport measures within-session data-parallel scaling (epoch
-// wall-clock and speedup versus 1 shard) for every shardable benchmark
-// in bs at each shard count. Pass s.All() to sweep the whole suite.
-//
-// Deprecated: build a Plan{Kind: RunScaling, ShardSweep: shards}
-// instead; the Runner adds context cancellation and row persistence.
-func (s *Suite) ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []ScalingRow {
-	ids := make([]string, len(bs))
-	for i, b := range bs {
-		ids[i] = b.ID
-	}
-	res := s.mustRun(context.Background(), Plan{
-		Kind: RunScaling, Benchmarks: ids, ShardSweep: shards,
-		Epochs: max(epochs, 0), Seed: seed, // legacy leniency, as in RunAllScaledStream
-	}, nil)
-	return res.Scaling
-}
-
-// CharacterizeAll profiles every registered benchmark on the device
-// across a bounded worker pool (workers <= 0 means GOMAXPROCS),
-// returning results in registry order.
-//
-// Deprecated: build a Plan{Kind: RunCharacterize, Device: dev} instead;
-// the Runner adds context cancellation and record persistence.
-func (s *Suite) CharacterizeAll(dev Device, workers int) []Characterization {
-	res := s.mustRun(context.Background(), Plan{
-		Kind: RunCharacterize, Device: dev, Workers: workers,
-	}, nil)
-	return res.Characterizations
-}
-
-// DeriveSeed is the deterministic per-benchmark seed derivation
-// RunAllScaled applies to its base seed: it depends only on (base, id),
-// never on scheduling, so serial and pooled suite runs train each
-// benchmark identically.
+// DeriveSeed is the deterministic per-benchmark seed derivation suite
+// runs apply to their base seed: it depends only on (base, id), never
+// on scheduling, so serial and pooled suite runs train each benchmark
+// identically.
 func DeriveSeed(base int64, id string) int64 { return core.DeriveSeed(base, id) }
 
 // Cluster reproduces Fig 4: t-SNE + k-means over the seventeen

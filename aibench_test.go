@@ -36,11 +36,11 @@ func TestSuiteScaledSessionThroughAPI(t *testing.T) {
 	}
 }
 
-// TestRunAllScaledMatchesSerialLoop pins the acceptance guarantee of
-// the parallel engine: a pooled RunAllScaled produces results bitwise
-// identical (losses included) to a plain serial loop over Suite.All()
-// using the same per-benchmark derived seeds.
-func TestRunAllScaledMatchesSerialLoop(t *testing.T) {
+// TestPlanSessionsMatchSerialLoop pins the acceptance guarantee of the
+// pooled session engine: a Plan suite run across 4 workers produces
+// results bitwise identical (losses included) to a plain serial loop
+// over Suite.All() using the same per-benchmark derived seeds.
+func TestPlanSessionsMatchSerialLoop(t *testing.T) {
 	s := aibench.NewSuite()
 	cfg := aibench.SessionConfig{Kind: aibench.QuasiEntireSession, MaxEpochs: 1, Seed: 42}
 
@@ -50,7 +50,18 @@ func TestRunAllScaledMatchesSerialLoop(t *testing.T) {
 		c.Seed = aibench.DeriveSeed(cfg.Seed, b.ID)
 		serial = append(serial, b.RunScaledSession(c))
 	}
-	pooled := s.RunAllScaled(cfg, 4)
+	runner, err := s.NewRunner(aibench.Plan{
+		Kind: aibench.RunSession, Session: cfg.Kind, Seed: cfg.Seed,
+		Epochs: cfg.MaxEpochs, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := res.Sessions
 
 	if len(pooled) != len(serial) {
 		t.Fatalf("pooled ran %d sessions, serial %d", len(pooled), len(serial))
@@ -73,7 +84,17 @@ func TestRunAllScaledMatchesSerialLoop(t *testing.T) {
 
 func TestCharacterizeAllParallel(t *testing.T) {
 	s := aibench.NewSuite()
-	cs := s.CharacterizeAll(aibench.TitanXP(), 8)
+	runner, err := s.NewRunner(aibench.Plan{
+		Kind: aibench.RunCharacterize, Device: aibench.TitanXP(), Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Characterizations
 	if len(cs) != 24 {
 		t.Fatalf("characterized %d benchmarks, want 24", len(cs))
 	}
@@ -167,15 +188,32 @@ func TestPlanRunnerPublicAPI(t *testing.T) {
 	}
 }
 
-// TestDeprecatedFacadesKeepLegacyLeniency pins the migration promise:
-// the deprecated wrappers still coerce the non-positive epoch values
-// the old engines defaulted, instead of panicking through the Plan's
-// stricter validation.
-func TestDeprecatedFacadesKeepLegacyLeniency(t *testing.T) {
+// TestBackendRegistryPublicAPI pins the backend half of the Plan
+// surface: the registry lists local and process, NewRunner rejects
+// unknown names at build time, and the run meta records the selection.
+func TestBackendRegistryPublicAPI(t *testing.T) {
 	s := aibench.NewSuite()
-	res := s.ScalingReport([]*aibench.Benchmark{s.Benchmark("DC-AI-C15")}, []int{1}, -1, 42)
-	if len(res) != 1 || len(res[0].Points) != 1 {
-		t.Fatalf("ScalingReport with negative epochs = %+v, want the legacy default sweep", res)
+	names := aibench.BackendNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	if !have["local"] || !have["process"] {
+		t.Fatalf("BackendNames() = %v, want local and process registered", names)
+	}
+	if _, err := s.NewRunner(aibench.Plan{Backend: "hologram"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown dist backend") {
+		t.Fatalf("unknown backend error = %v, want a build-time rejection naming it", err)
+	}
+	runner, err := s.NewRunner(aibench.Plan{
+		Kind: aibench.RunSession, Benchmarks: []string{"DC-AI-C15"},
+		Session: aibench.QuasiEntireSession, Epochs: 1, Shards: 2, Backend: "local",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.Meta().Backend != "local" {
+		t.Fatalf("run meta backend = %q, want %q", runner.Meta().Backend, "local")
 	}
 }
 

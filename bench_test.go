@@ -5,6 +5,7 @@
 package aibench_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +18,25 @@ import (
 	"aibench/internal/gpusim"
 	"aibench/internal/tensor"
 )
+
+// characterizeAll profiles bs on dev through a Plan runner — the
+// benches' replacement for the retired CharacterizeAll facades.
+func characterizeAll(tb testing.TB, s *aibench.Suite, bs []*aibench.Benchmark, dev aibench.Device) []aibench.Characterization {
+	tb.Helper()
+	ids := make([]string, len(bs))
+	for i, b := range bs {
+		ids[i] = b.ID
+	}
+	runner, err := s.NewRunner(aibench.Plan{Kind: aibench.RunCharacterize, Benchmarks: ids, Device: dev})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.Characterizations
+}
 
 // BenchmarkTable1 regenerates the suite comparison matrix.
 func BenchmarkTable1(b *testing.B) {
@@ -105,7 +125,7 @@ func BenchmarkTable7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		suite.Report("table7", io.Discard, aibench.TitanXP(), 1)
 	}
-	cs := aibench.CharacterizeAll(suite.AIBench(), aibench.TitanXP())
+	cs := characterizeAll(b, suite, suite.AIBench(), aibench.TitanXP())
 	names := map[string]bool{}
 	for _, c := range cs {
 		for _, h := range c.Hotspots {
@@ -122,8 +142,8 @@ func BenchmarkFigure1a(b *testing.B) {
 	dev := aibench.TitanXP()
 	var f, p, e float64
 	for i := 0; i < b.N; i++ {
-		ai := core.CoverageOf(aibench.CharacterizeAll(suite.AIBench(), dev))
-		ml := core.CoverageOf(aibench.CharacterizeAll(suite.MLPerf(), dev))
+		ai := core.CoverageOf(characterizeAll(b, suite, suite.AIBench(), dev))
+		ml := core.CoverageOf(characterizeAll(b, suite, suite.MLPerf(), dev))
 		f, p, e = core.PeakRatios(ai, ml)
 	}
 	b.ReportMetric(f, "flops_peak_ratio")
@@ -150,7 +170,7 @@ func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		suite.Report("figure3", io.Discard, aibench.TitanXP(), 1)
 	}
-	cs := aibench.CharacterizeAll(suite.All(), aibench.TitanXP())
+	cs := characterizeAll(b, suite, suite.All(), aibench.TitanXP())
 	lo, hi := 1.0, 0.0
 	for _, c := range cs {
 		v := c.Metrics.IPCEfficiency
@@ -197,8 +217,8 @@ func BenchmarkFigure6(b *testing.B) {
 	suite := aibench.NewSuite()
 	var ai, ml [4]int
 	for i := 0; i < b.N; i++ {
-		ai = core.HotspotHistogram(aibench.CharacterizeAll(suite.AIBench(), aibench.TitanXP()))
-		ml = core.HotspotHistogram(aibench.CharacterizeAll(suite.MLPerf(), aibench.TitanXP()))
+		ai = core.HotspotHistogram(characterizeAll(b, suite, suite.AIBench(), aibench.TitanXP()))
+		ml = core.HotspotHistogram(characterizeAll(b, suite, suite.MLPerf(), aibench.TitanXP()))
 	}
 	b.ReportMetric(float64(ai[2]+ai[3]), "aibench_over10pct_paper_30")
 	b.ReportMetric(float64(ml[2]+ml[3]), "mlperf_over10pct_paper_9")
@@ -317,8 +337,17 @@ func BenchmarkSuiteScaled(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			suite := aibench.NewSuite()
+			runner, err := suite.NewRunner(aibench.Plan{
+				Kind: aibench.RunSession, Session: cfg.Kind, Seed: cfg.Seed,
+				Epochs: cfg.MaxEpochs, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
 			for i := 0; i < b.N; i++ {
-				suite.RunAllScaled(cfg, workers)
+				if _, err := runner.Run(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -330,9 +359,16 @@ func BenchmarkCharacterizeAllWorkers(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			suite := aibench.NewSuite()
-			dev := aibench.TitanXP()
+			runner, err := suite.NewRunner(aibench.Plan{
+				Kind: aibench.RunCharacterize, Device: aibench.TitanXP(), Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
 			for i := 0; i < b.N; i++ {
-				suite.CharacterizeAll(dev, workers)
+				if _, err := runner.Run(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

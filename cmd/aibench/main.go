@@ -9,9 +9,9 @@
 // Usage:
 //
 //	aibench list
-//	aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel naive|blocked] [-out results.jsonl]
-//	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K] [-out results.jsonl] [-v]
-//	aibench scaling [id] [-shards 1,2,4] [-epochs N] [-seed S] [-kernel K] [-out results.jsonl]
+//	aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-backend local|process] [-kernel naive|blocked] [-out results.jsonl]
+//	aibench run-all [-workers N] [-epochs N] [-seed S] [-quasi] [-shards N] [-backend B] [-kernel K] [-out results.jsonl] [-v]
+//	aibench scaling [id] [-shards 1,2,4] [-backend B] [-epochs N] [-seed S] [-kernel K] [-out results.jsonl]
 //	aibench characterize <id|all> [-gpu xp|rtx] [-workers N] [-out results.jsonl]
 //	aibench replay [id|all] [-seed S] [-out results.jsonl]
 //	aibench subset
@@ -44,6 +44,17 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
+	}
+	if os.Args[1] == "worker" {
+		// Hidden: the process dist backend re-execs this binary as
+		// `aibench worker` and drives the replica over stdin/stdout with
+		// the frame protocol (see internal/dist). Not part of the CLI
+		// surface — never invoke it by hand.
+		if err := aibench.RunDistWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	suite := aibench.NewSuite()
 	switch os.Args[1] {
@@ -95,6 +106,16 @@ func kernelFlag(fs *flag.FlagSet) *string {
 	names := strings.Join(aibench.KernelNames(), "|")
 	return fs.String("kernel", "", "compute kernel ("+names+"; default: $"+
 		"AIBENCH_KERNEL or blocked)")
+}
+
+// backendFlag registers the -backend flag shared by the sharded
+// commands; the value goes into Plan.Backend, where NewRunner validates
+// it against the dist backend registry. Backends train bitwise
+// identically — the flag chooses the execution substrate (in-process
+// goroutines vs isolated worker processes), never the numbers.
+func backendFlag(fs *flag.FlagSet) *string {
+	names := strings.Join(aibench.BackendNames(), "|")
+	return fs.String("backend", "", "dist execution backend for sharded training ("+names+"; default: local)")
 }
 
 // outFlag registers the -out flag shared by every run command.
@@ -269,12 +290,13 @@ func cmdRun(s *aibench.Suite, args []string) {
 	seed := fs.Int64("seed", 42, "base seed; the session seed is derived deterministically")
 	quasi := fs.Bool("quasi", false, "run a quasi-entire session (fixed epochs)")
 	shards := fs.Int("shards", 0, "data-parallel shard workers (0 = serial; results are bitwise identical for any count)")
+	backend := backendFlag(fs)
 	kernel := kernelFlag(fs)
 	out := outFlag(fs)
 	opts := runOptsFlags(fs)
 	id := parseWithID(fs, args)
 	if id == "" {
-		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-kernel K] [-telemetry] [-out F]")
+		fmt.Fprintln(os.Stderr, "usage: aibench run <id> [-epochs N] [-seed S] [-quasi] [-shards N] [-backend B] [-kernel K] [-telemetry] [-out F]")
 		os.Exit(2)
 	}
 	if s.Benchmark(id) == nil {
@@ -287,7 +309,8 @@ func cmdRun(s *aibench.Suite, args []string) {
 	}
 	res, written, interrupted, runErr := runPlan(s, aibench.Plan{
 		Kind: aibench.RunSession, Benchmarks: []string{id}, Session: kind,
-		Seed: *seed, Epochs: *epochs, Shards: *shards, Kernel: *kernel, Log: os.Stdout,
+		Seed: *seed, Epochs: *epochs, Shards: *shards, Backend: *backend,
+		Kernel: *kernel, Log: os.Stdout,
 	}, *out, opts)
 	if len(res.Sessions) == 0 || res.Sessions[0].ID == "" {
 		exitOnRunError(runErr)
@@ -305,6 +328,10 @@ func cmdRun(s *aibench.Suite, args []string) {
 	if *out != "" {
 		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
 	}
+	if r.Error != "" {
+		fmt.Fprintf(os.Stderr, "%s failed after %d epochs: %s\n", r.ID, r.Epochs, r.Error)
+		os.Exit(1)
+	}
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "interrupted after %d epochs\n", r.Epochs)
 		os.Exit(1)
@@ -318,6 +345,7 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	seed := fs.Int64("seed", 42, "base seed; per-benchmark seeds are derived deterministically")
 	quasi := fs.Bool("quasi", false, "run quasi-entire sessions (fixed epochs)")
 	shards := fs.Int("shards", 0, "data-parallel shard workers per session (0 = serial)")
+	backend := backendFlag(fs)
 	kernel := kernelFlag(fs)
 	out := outFlag(fs)
 	opts := runOptsFlags(fs)
@@ -333,7 +361,7 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	}
 	plan := aibench.Plan{
 		Kind: aibench.RunSession, Session: kind, Seed: *seed, Epochs: *epochs,
-		Shards: *shards, Kernel: *kernel, Workers: *workers,
+		Shards: *shards, Backend: *backend, Kernel: *kernel, Workers: *workers,
 	}
 	if *verbose {
 		plan.Log = os.Stdout
@@ -346,7 +374,7 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 		fmt.Println()
 	}
 	aibench.RenderRunReport("sessions", os.Stdout, res.Records())
-	reached, ran, ranEpochs := 0, 0, 0
+	reached, ran, ranEpochs, failed := 0, 0, 0, 0
 	for _, r := range res.Sessions {
 		if r.ID == "" {
 			continue // session never launched (run interrupted)
@@ -356,6 +384,10 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 		if r.ReachedGoal {
 			reached++
 		}
+		if r.Error != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s failed after %d epochs: %s\n", r.ID, r.Epochs, r.Error)
+		}
 	}
 	fmt.Printf("\n%d/%d sessions reached their target in %s (workers=%d kernel=%s)\n",
 		reached, ran, elapsed.Round(time.Millisecond), width, aibench.ActiveKernel())
@@ -363,6 +395,10 @@ func cmdRunAll(s *aibench.Suite, args []string) {
 	exitOnRunError(runErr)
 	if *out != "" {
 		fmt.Printf("results streamed to %s (%d JSONL lines)\n", *out, written)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d sessions failed; results above are partial\n", failed, ran)
+		os.Exit(1)
 	}
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "interrupted after %d epochs across %d sessions (%d sessions never launched)\n",
@@ -378,6 +414,7 @@ func cmdScaling(s *aibench.Suite, args []string) {
 	shardsCSV := fs.String("shards", "1,2,4", "comma-separated shard counts to measure")
 	epochs := fs.Int("epochs", 2, "epochs to time per point")
 	seed := fs.Int64("seed", 42, "base seed")
+	backend := backendFlag(fs)
 	kernel := kernelFlag(fs)
 	out := outFlag(fs)
 	opts := runOptsFlags(fs)
@@ -406,7 +443,7 @@ func cmdScaling(s *aibench.Suite, args []string) {
 	}
 	res, written, interrupted, runErr := runPlan(s, aibench.Plan{
 		Kind: aibench.RunScaling, Benchmarks: ids, ShardSweep: shards,
-		Epochs: *epochs, Seed: *seed, Kernel: *kernel,
+		Epochs: *epochs, Seed: *seed, Backend: *backend, Kernel: *kernel,
 	}, *out, opts)
 	if len(res.Scaling) == 0 {
 		if interrupted {

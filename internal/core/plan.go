@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"aibench/internal/dist"
 	"aibench/internal/gpusim"
 	"aibench/internal/telemetry"
 	"aibench/internal/tensor"
@@ -77,6 +78,14 @@ type Plan struct {
 	// active one. Validated at build time; applied once at Run start,
 	// and only when it differs from the active kernel.
 	Kernel string
+	// Backend names the dist execution backend sharded training runs
+	// on ("local", "process", ...; empty = local), selected from the
+	// dist.Register registry exactly like kernels are. Backends are
+	// bitwise-equivalent by contract — "process" isolates each replica
+	// in a child process so a crash fails one benchmark instead of the
+	// suite. Validated at build time. Applies to RunSession and
+	// RunScaling.
+	Backend string
 	// Workers bounds the suite-level pool for sessions and
 	// characterizations (<= 0 = GOMAXPROCS).
 	Workers int
@@ -103,6 +112,11 @@ type RunMeta struct {
 	Seed     int64  `json:"seed"`
 	Kernel   string `json:"kernel"`
 	Shards   int    `json:"shards"`
+	// Backend is the dist execution backend the run selected; empty
+	// means the default local backend (kept empty rather than
+	// normalized so default-run envelopes are byte-stable across
+	// releases).
+	Backend string `json:"backend,omitempty"`
 	// Started is the wall-clock start of the run in RFC 3339, stamped
 	// by the caller that opens the stream (empty in library use).
 	Started string `json:"started,omitempty"`
@@ -134,6 +148,12 @@ type Record struct {
 	Replay           *ReplaySession
 	Trace            *telemetry.Trace
 	RunMetrics       *telemetry.RunMetrics
+	// Run identifies the run that produced the record (backend, kernel,
+	// seed, ...). Stamped by RunResult.Records for live runs and by
+	// results.Read from the envelope header for rebuilt streams, so
+	// renderers can show run-level columns either way; nil on records
+	// from legacy bare-JSON streams.
+	Run *RunMeta
 }
 
 // Payload returns the record's typed data for encoding; nil when the
@@ -173,7 +193,12 @@ func (r Record) Payload() any {
 // with the plan's benchmark order, so a cancelled run leaves
 // zero-valued (empty-ID) slots for work that never launched.
 type RunResult struct {
-	Kind              RunKind
+	Kind RunKind
+	// Meta identifies the run (suite SHA, seed, kernel, shards,
+	// backend); Records stamps it on every flattened record so
+	// renderers see the same run header live as they do rebuilding
+	// from a persisted stream.
+	Meta              RunMeta
 	Sessions          []SessionResult
 	Characterizations []Characterization
 	Scaling           []ScalingRow
@@ -209,6 +234,9 @@ func (r *RunResult) Records() []Record {
 	}
 	if r.Metrics != nil {
 		out = append(out, Record{Kind: KindRunMetrics, RunMetrics: r.Metrics})
+	}
+	for i := range out {
+		out[i].Run = &r.Meta
 	}
 	return out
 }
@@ -261,6 +289,9 @@ func NewRunner(reg *Registry, p Plan) (*Runner, error) {
 			return nil, fmt.Errorf("core: Plan.Kernel: unknown compute kernel %q (have %v)", p.Kernel, tensor.KernelNames())
 		}
 	}
+	if p.Backend != "" && !dist.Known(p.Backend) {
+		return nil, fmt.Errorf("core: Plan.Backend: unknown dist backend %q (have %v)", p.Backend, dist.Names())
+	}
 	if p.Shards < 0 {
 		return nil, fmt.Errorf("core: Plan.Shards: %d < 0", p.Shards)
 	}
@@ -304,6 +335,7 @@ func (r *Runner) Meta() RunMeta {
 		Seed:     r.plan.Seed,
 		Kernel:   kernel,
 		Shards:   r.plan.Shards,
+		Backend:  r.plan.Backend,
 	}
 }
 
@@ -323,7 +355,7 @@ func (r *Runner) Run(ctx context.Context, sink func(Record) error) (*RunResult, 
 			return nil, err
 		}
 	}
-	res := &RunResult{Kind: r.plan.Kind}
+	res := &RunResult{Kind: r.plan.Kind, Meta: r.Meta()}
 	if !r.plan.Telemetry {
 		err := r.runKind(ctx, sink, nil, res)
 		return res, err
@@ -365,7 +397,7 @@ func (r *Runner) runKind(ctx context.Context, sink func(Record) error, root *tel
 	case RunSession:
 		cfg := SessionConfig{
 			Kind: r.plan.Session, Seed: r.plan.Seed, MaxEpochs: r.plan.Epochs,
-			Shards: r.plan.Shards, Log: r.plan.Log,
+			Shards: r.plan.Shards, Backend: r.plan.Backend, Log: r.plan.Log,
 		}
 		var s func(SessionResult) error
 		if sink != nil {
@@ -395,7 +427,7 @@ func (r *Runner) runKind(ctx context.Context, sink func(Record) error, root *tel
 				return sink(Record{Kind: KindScaling, Scaling: &row})
 			}
 		}
-		rows, err := scalingReport(ctx, r.bs, r.plan.ShardSweep, r.plan.Epochs, r.plan.Seed, root, s)
+		rows, err := scalingReport(ctx, r.bs, r.plan.Backend, r.plan.ShardSweep, r.plan.Epochs, r.plan.Seed, root, s)
 		res.Scaling = rows
 		return err
 

@@ -22,6 +22,7 @@ func TestNewRunnerValidation(t *testing.T) {
 	}{
 		{"unknown benchmark", Plan{Benchmarks: []string{"DC-AI-C99"}}, "unknown benchmark"},
 		{"unknown kernel", Plan{Kernel: "vectorized-fantasy"}, "unknown compute kernel"},
+		{"unknown backend", Plan{Backend: "quantum-fantasy"}, "unknown dist backend"},
 		{"bad kind", Plan{Kind: RunKind(42)}, "not a run kind"},
 		{"bad session kind", Plan{Kind: RunSession, Session: SessionKind(7)}, "not a session kind"},
 		{"bad sweep", Plan{Kind: RunScaling, ShardSweep: []int{1, 0}}, "shard count 0"},

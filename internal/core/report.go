@@ -49,13 +49,7 @@ func RunReportKind(name string) (RecordKind, bool) {
 func RenderRunRecords(name string, w io.Writer, recs []Record) bool {
 	switch name {
 	case "sessions":
-		var rs []SessionResult
-		for _, r := range recs {
-			if r.Kind == KindSession && r.Session != nil {
-				rs = append(rs, *r.Session)
-			}
-		}
-		RenderSessions(w, rs)
+		renderSessionRecords(w, recs)
 	case "characterizations":
 		var cs []Characterization
 		for _, r := range recs {
@@ -65,13 +59,7 @@ func RenderRunRecords(name string, w io.Writer, recs []Record) bool {
 		}
 		RenderCharacterizations(w, cs)
 	case "scaling":
-		var rows []ScalingRow
-		for _, r := range recs {
-			if r.Kind == KindScaling && r.Scaling != nil {
-				rows = append(rows, *r.Scaling)
-			}
-		}
-		RenderScaling(w, rows)
+		renderScalingRecords(w, recs)
 	case "replays":
 		var rs []ReplaySession
 		for _, r := range recs {
@@ -108,13 +96,46 @@ func canonical[T any](in []T, id func(T) string) []T {
 	return out
 }
 
-// RenderSessions writes the suite session summary table.
+// recordBackend names the dist backend a record's run selected; the
+// zero value (and a legacy record with no run header) is the default
+// local backend, normalized here so live tables and stream rebuilds
+// print identically.
+func recordBackend(r Record) string {
+	if r.Run != nil && r.Run.Backend != "" {
+		return r.Run.Backend
+	}
+	return "local"
+}
+
+// RenderSessions writes the suite session summary table from bare
+// results (no run header: the backend column shows the local default).
 func RenderSessions(w io.Writer, rs []SessionResult) {
-	rows := canonical(rs, func(r SessionResult) string { return r.ID })
-	fmt.Fprintf(w, "%-12s %-34s %7s %7s %9s %9s %s\n", "ID", "Name", "Epochs", "Shards", "Quality", "Target", "Reached")
+	recs := make([]Record, len(rs))
+	for i := range rs {
+		recs[i] = Record{Kind: KindSession, Session: &rs[i]}
+	}
+	renderSessionRecords(w, recs)
+}
+
+// renderSessionRecords writes the suite session summary table from
+// session records, with the backend column taken from each record's
+// run header.
+func renderSessionRecords(w io.Writer, recs []Record) {
+	type row struct {
+		SessionResult
+		backend string
+	}
+	var rs []row
+	for _, r := range recs {
+		if r.Kind == KindSession && r.Session != nil {
+			rs = append(rs, row{*r.Session, recordBackend(r)})
+		}
+	}
+	rows := canonical(rs, func(r row) string { return r.ID })
+	fmt.Fprintf(w, "%-12s %-34s %7s %7s %-8s %9s %9s %s\n", "ID", "Name", "Epochs", "Shards", "Backend", "Quality", "Target", "Reached")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %-34s %7d %7d %9.4f %9.4f %v\n",
-			r.ID, r.Name, r.Epochs, r.Shards, r.FinalQuality, r.Target, r.ReachedGoal)
+		fmt.Fprintf(w, "%-12s %-34s %7d %7d %-8s %9.4f %9.4f %v\n",
+			r.ID, r.Name, r.Epochs, r.Shards, r.backend, r.FinalQuality, r.Target, r.ReachedGoal)
 	}
 }
 
@@ -130,18 +151,39 @@ func RenderCharacterizations(w io.Writer, cs []Characterization) {
 	}
 }
 
-// RenderScaling writes the data-parallel scaling table (one line per
-// measured shard count; the id and name print on the first).
+// RenderScaling writes the data-parallel scaling table from bare rows
+// (no run header: the backend column shows the local default).
 func RenderScaling(w io.Writer, rows []ScalingRow) {
-	sorted := canonical(rows, func(r ScalingRow) string { return r.ID })
-	fmt.Fprintf(w, "%-12s %-24s %8s %12s %9s\n", "ID", "Name", "Shards", "Sec/Epoch", "Speedup")
+	recs := make([]Record, len(rows))
+	for i := range rows {
+		recs[i] = Record{Kind: KindScaling, Scaling: &rows[i]}
+	}
+	renderScalingRecords(w, recs)
+}
+
+// renderScalingRecords writes the data-parallel scaling table (one
+// line per measured shard count; the id, name, and backend print on
+// the first), with the backend taken from each record's run header.
+func renderScalingRecords(w io.Writer, recs []Record) {
+	type srow struct {
+		ScalingRow
+		backend string
+	}
+	var rows []srow
+	for _, r := range recs {
+		if r.Kind == KindScaling && r.Scaling != nil {
+			rows = append(rows, srow{*r.Scaling, recordBackend(r)})
+		}
+	}
+	sorted := canonical(rows, func(r srow) string { return r.ID })
+	fmt.Fprintf(w, "%-12s %-24s %-8s %8s %12s %9s\n", "ID", "Name", "Backend", "Shards", "Sec/Epoch", "Speedup")
 	for _, row := range sorted {
 		for i, p := range row.Points {
-			id, name := row.ID, row.Name
+			id, name, backend := row.ID, row.Name, row.backend
 			if i > 0 {
-				id, name = "", ""
+				id, name, backend = "", "", ""
 			}
-			fmt.Fprintf(w, "%-12s %-24s %8d %12.4f %8.2fx\n", id, name, p.Shards, p.SecPerEpoch, p.Speedup)
+			fmt.Fprintf(w, "%-12s %-24s %-8s %8d %12.4f %8.2fx\n", id, name, backend, p.Shards, p.SecPerEpoch, p.Speedup)
 		}
 	}
 }

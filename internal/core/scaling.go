@@ -26,24 +26,21 @@ type ScalingRow struct {
 	Points []ScalingPoint `json:"points"`
 }
 
-// ScalingReport measures data-parallel scaling for every shardable
-// benchmark in bs: each shard count trains `epochs` epochs through
-// internal/dist and reports wall-clock time per epoch plus speedup
-// against the 1-shard baseline. The training itself is bitwise
-// identical at every point (the dist determinism contract), so the
-// sweep measures pure scheduling gain. Benchmarks without a shardable
-// train step are skipped.
-func ScalingReport(bs []*Benchmark, shards []int, epochs int, seed int64) []ScalingRow {
-	rows, _ := scalingReport(context.Background(), bs, shards, epochs, seed, nil, nil)
-	return rows
-}
-
-// scalingReport is the context-aware sweep engine behind ScalingReport
-// and the Plan Runner: cancellation is checked between benchmarks and
-// at every timed epoch boundary (a row is never emitted
-// half-measured), and each completed row streams through sink; a sink
-// error stops the sweep and is returned with the rows measured so far.
-func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs int, seed int64, root *telemetry.Span, sink func(ScalingRow) error) ([]ScalingRow, error) {
+// scalingReport is the context-aware sweep engine behind the Plan
+// Runner's RunScaling kind (`Plan{Kind: RunScaling}` is the public
+// entry point): each shard count trains `epochs` epochs through
+// internal/dist on the named backend and reports wall-clock time per
+// epoch plus speedup against the 1-shard baseline. The training itself
+// is bitwise identical at every point (the dist determinism contract),
+// so the sweep measures pure scheduling gain — and, across backends,
+// pure isolation cost. Benchmarks without a shardable train step are
+// skipped. Cancellation is checked between benchmarks and at every
+// timed epoch boundary (a row is never emitted half-measured), and
+// each completed row streams through sink; a sink error stops the
+// sweep and is returned with the rows measured so far. A backend
+// runtime failure (a dead replica process) likewise aborts the sweep:
+// its timings would no longer be comparable.
+func scalingReport(ctx context.Context, bs []*Benchmark, backend string, shards []int, epochs int, seed int64, root *telemetry.Span, sink func(ScalingRow) error) ([]ScalingRow, error) {
 	if epochs <= 0 {
 		epochs = 2
 	}
@@ -56,7 +53,11 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 			continue
 		}
 		bspan := root.Child(b.ID)
-		baseline, ok := timeShardedEpochs(ctx, b, 1, epochs, seed, bspan)
+		baseline, ok, err := timeShardedEpochs(ctx, b, backend, 1, epochs, seed, bspan)
+		if err != nil {
+			bspan.End()
+			return rows, err
+		}
 		if !ok {
 			bspan.End()
 			break
@@ -65,7 +66,10 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 		for _, n := range shards {
 			sec := baseline
 			if n != 1 {
-				if sec, ok = timeShardedEpochs(ctx, b, n, epochs, seed, bspan); !ok {
+				if sec, ok, err = timeShardedEpochs(ctx, b, backend, n, epochs, seed, bspan); err != nil {
+					bspan.End()
+					return rows, err
+				} else if !ok {
 					break
 				}
 			}
@@ -87,16 +91,30 @@ func scalingReport(ctx context.Context, bs []*Benchmark, shards []int, epochs in
 	return rows, nil
 }
 
-// timeShardedEpochs trains `epochs` epochs at the given shard count and
-// returns the mean wall-clock seconds per epoch; ok is false when ctx
-// was cancelled before the measurement completed (the Plan Runner's
-// epoch-boundary cancellation contract — a cancelled sweep must not
-// train out its epoch budget).
-func timeShardedEpochs(ctx context.Context, b *Benchmark, n, epochs int, seed int64, parent *telemetry.Span) (sec float64, ok bool) {
-	eng, err := dist.New(b.Factory, DeriveSeed(seed, b.ID), dist.NewLocal(n))
-	if err != nil {
-		return 0, true
+// timeShardedEpochs trains `epochs` epochs at the given shard count on
+// the named backend ("" = local) and returns the mean wall-clock
+// seconds per epoch; ok is false when ctx was cancelled before the
+// measurement completed (the Plan Runner's epoch-boundary cancellation
+// contract — a cancelled sweep must not train out its epoch budget). A
+// non-nil error is a backend runtime failure; a workload the engine
+// rejects up front is skipped (ok with zero time).
+func timeShardedEpochs(ctx context.Context, b *Benchmark, backend string, n, epochs int, seed int64, parent *telemetry.Span) (sec float64, ok bool, err error) {
+	if backend == "" {
+		backend = "local"
 	}
+	be, err := dist.NewBackend(backend, n)
+	if err != nil {
+		return 0, false, err // Plan validation makes this unreachable
+	}
+	eng, err := dist.New(ctx, b.ID, b.Factory, DeriveSeed(seed, b.ID), be)
+	if err != nil {
+		return 0, true, nil
+	}
+	defer func() {
+		if cerr := eng.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	// Each measured shard count gets its own span; its value is the
 	// epoch count it timed, and the engine's per-step phase spans nest
 	// under it.
@@ -108,11 +126,13 @@ func timeShardedEpochs(ctx context.Context, b *Benchmark, n, epochs int, seed in
 	start := time.Now() //lint:allow seedpurity scaling measures wall-clock per epoch; durations are the measurement, not training state
 	for e := 0; e < epochs; e++ {
 		if ctx.Err() != nil {
-			return 0, false
+			return 0, false, nil
 		}
-		eng.TrainEpoch()
+		if _, terr := eng.TrainEpoch(); terr != nil {
+			return 0, false, terr
+		}
 		telemetry.Count(telemetry.CounterEpochs, 1)
 	}
 	span.Add(int64(epochs))
-	return time.Since(start).Seconds() / float64(epochs), true
+	return time.Since(start).Seconds() / float64(epochs), true, nil
 }

@@ -46,7 +46,14 @@ type SessionConfig struct {
 	// RunScaledSession panic (the legacy contract); Plan validates the
 	// name up front and returns an error instead.
 	Kernel string
-	Log    io.Writer // optional progress stream
+	// Backend names the dist execution backend for sharded sessions
+	// ("local", "process", ...); empty selects local. Only consulted
+	// when Shards >= 1 routes through internal/dist — backends are
+	// bitwise-equivalent by contract, differing only in where replica
+	// compute runs and how big the failure domain is. An unknown name
+	// errors like an unknown kernel (Plan validates it up front).
+	Backend string
+	Log     io.Writer // optional progress stream
 	// trace, when set by the Plan Runner, is the session's benchmark
 	// span: the epoch loop hangs per-epoch spans under it, and sharded
 	// trainers nest their phase spans under each epoch's.
@@ -74,7 +81,14 @@ type SessionResult struct {
 	// Interrupted marks a session stopped by context cancellation
 	// before it exhausted its epoch budget or reached its target; the
 	// loss trace is the completed-epoch prefix.
-	Interrupted  bool      `json:"interrupted,omitempty"`
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Error records a mid-session training failure — a dist backend
+	// losing a replica (a killed or crashed worker process), a
+	// determinism violation — that ended the session early. The
+	// completed-epoch prefix of Losses is kept. Failures are contained
+	// per benchmark: one session's Error never aborts its siblings in a
+	// suite run.
+	Error        string    `json:"error,omitempty"`
 	ReachedGoal  bool      `json:"reached_goal"`
 	FinalQuality float64   `json:"final_quality"`
 	Target       float64   `json:"target"`
@@ -82,12 +96,21 @@ type SessionResult struct {
 }
 
 // epochTrainer is one epoch of work plus its evaluation — implemented
-// both by the scaled workloads themselves (serial path) and by the
-// data-parallel dist.Engine.
+// by the data-parallel dist.Engine and, through serialTrainer, by the
+// scaled workloads themselves. Errors are per-benchmark failures (a
+// dead replica process, a determinism violation), recorded on the
+// session instead of crashing the suite.
 type epochTrainer interface {
-	TrainEpoch() float64
-	Quality() float64
+	TrainEpoch() (float64, error)
+	Quality() (float64, error)
 }
+
+// serialTrainer adapts the classic serial workload contract — which
+// cannot fail, only panic — to the error-aware trainer interface.
+type serialTrainer struct{ w models.Benchmark }
+
+func (s serialTrainer) TrainEpoch() (float64, error) { return s.w.TrainEpoch(), nil }
+func (s serialTrainer) Quality() (float64, error)    { return s.w.Quality(), nil }
 
 // RunScaledSession executes a real training session of the scaled model
 // through the tensor/autograd/nn/optim stack: an entire session stops
@@ -103,7 +126,7 @@ type epochTrainer interface {
 func (b *Benchmark) RunScaledSession(cfg SessionConfig) SessionResult {
 	res, err := b.runSession(context.Background(), cfg)
 	if err != nil {
-		panic(fmt.Sprintf("core: SessionConfig.Kernel: %v", err))
+		panic(fmt.Sprintf("core: SessionConfig: %v", err))
 	}
 	return res
 }
@@ -124,29 +147,47 @@ func (b *Benchmark) runSession(ctx context.Context, cfg SessionConfig) (SessionR
 			return SessionResult{}, err
 		}
 	}
+	backendName := cfg.Backend
+	if backendName == "" {
+		backendName = "local"
+	}
 	var (
-		w        models.Benchmark
 		trainer  epochTrainer
+		carrier  telemetry.SpanCarrier
+		name     string
+		target   float64
+		meets    func(float64) bool
 		shards   int
 		fallback string
+		closeEng func() error
 	)
 	if cfg.Shards > 0 && b.Shardable() {
-		eng, err := dist.New(b.Factory, cfg.Seed, dist.NewLocal(cfg.Shards))
+		be, err := dist.NewBackend(backendName, cfg.Shards)
+		if err != nil {
+			return SessionResult{}, err
+		}
+		eng, err := dist.New(ctx, b.ID, b.Factory, cfg.Seed, be)
 		if err != nil {
 			// Shardable() vouched the train-step interface exists, but
 			// the engine also validates the phase declaration (at least
-			// one phase, a reporting phase, matching reduce groups);
-			// run serial and say why instead of crashing the session.
-			fallback = fmt.Sprintf("requested shards=%d but the dist engine rejected the workload: %v", cfg.Shards, err)
+			// one phase, a reporting phase, matching reduce groups) and
+			// the backend must bring its replicas up; run serial and say
+			// why instead of crashing the session.
+			fallback = fmt.Sprintf("requested shards=%d on the %q backend but the dist engine rejected the workload: %v", cfg.Shards, backendName, err)
 		} else {
-			w, trainer, shards = eng.Benchmark(), eng, eng.Workers()
+			trainer, carrier, shards = eng, eng, eng.Workers()
+			name, target, meets = eng.Name(), eng.Target(), eng.MeetsTarget
+			closeEng = eng.Close
 		}
 	}
 	if trainer == nil { // serial path (Shards == 0, not shardable, or rejected)
 		wl := b.Factory(cfg.Seed)
-		w, trainer = wl, wl
+		trainer = serialTrainer{w: wl}
+		name, target = wl.Name(), wl.ScaledTarget()
+		meets = func(q float64) bool { return models.MeetsTarget(wl, q) }
+		carrier, _ = wl.(telemetry.SpanCarrier)
 		if cfg.Shards > 0 && fallback == "" {
-			fallback = fmt.Sprintf("requested shards=%d but workload implements no sharded train step (models.ShardedTrainer or models.PhasedTrainer)", cfg.Shards)
+			fallback = fmt.Sprintf("requested shards=%d on the %q backend but workload implements no sharded train step (models.ShardedTrainer or models.PhasedTrainer)", cfg.Shards, backendName)
 		}
 		// Record why the run asked for data-parallel training and
 		// didn't get it, so the fallback is never mistaken for a
@@ -157,11 +198,10 @@ func (b *Benchmark) runSession(ctx context.Context, cfg SessionConfig) (SessionR
 		}
 	}
 	res := SessionResult{
-		ID: b.ID, Name: w.Name(), Kind: cfg.Kind, Shards: shards,
+		ID: b.ID, Name: name, Kind: cfg.Kind, Shards: shards,
 		FallbackReason: fallback, Kernel: tensor.ActiveKernels().Name(),
-		Target: w.ScaledTarget(),
+		Target: target,
 	}
-	carrier, _ := trainer.(telemetry.SpanCarrier)
 	for ep := 1; ep <= cfg.MaxEpochs; ep++ {
 		if ctx.Err() != nil {
 			res.Interrupted = true
@@ -171,22 +211,43 @@ func (b *Benchmark) runSession(ctx context.Context, cfg SessionConfig) (SessionR
 		if carrier != nil {
 			carrier.SetSpan(espan)
 		}
-		loss := trainer.TrainEpoch()
+		loss, err := trainer.TrainEpoch()
+		if err != nil {
+			// A lost replica (killed worker, crashed child) or a
+			// determinism violation fails this benchmark alone: record
+			// the reason, keep the completed-epoch prefix, and let the
+			// suite's other benchmarks run to completion untouched.
+			espan.End()
+			res.Error = err.Error()
+			break
+		}
 		telemetry.Count(telemetry.CounterEpochs, 1)
 		res.Losses = append(res.Losses, loss)
 		res.Epochs = ep
-		q := trainer.Quality()
+		q, qerr := trainer.Quality()
 		espan.End()
+		if qerr != nil {
+			res.Error = qerr.Error()
+			break
+		}
 		res.FinalQuality = q
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "%s epoch %d: loss=%.4f quality=%.4f\n", b.ID, ep, loss, q)
 		}
-		if cfg.Kind == EntireSession && models.MeetsTarget(w, q) {
+		if cfg.Kind == EntireSession && meets(q) {
 			res.ReachedGoal = true
 			break
 		}
 	}
-	if cfg.Kind == QuasiEntireSession && !res.Interrupted {
+	if closeEng != nil {
+		// Close before the tracer snapshots: process backends fold
+		// their children's deterministic counters into the run's plane
+		// here.
+		if cerr := closeEng(); cerr != nil && res.Error == "" {
+			res.Error = cerr.Error()
+		}
+	}
+	if cfg.Kind == QuasiEntireSession && !res.Interrupted && res.Error == "" {
 		res.ReachedGoal = true // quasi-entire sessions complete by definition
 	}
 	return res, nil

@@ -23,21 +23,24 @@
 // single-phase models.ShardedTrainer contract is executed as the
 // degenerate one-phase case through the same loop.
 //
-// The engine talks to workers only through the Backend scheduler
-// interface; the in-process pool backend is the first implementation,
-// and the ROADMAP's process/remote backends slot in behind the same
-// interface without touching callers.
+// The engine talks to replicas only through the Backend/Group
+// lifecycle, and backends register by name (dist.Register) so plans
+// select them like compute kernels: "local" schedules ranks on the
+// in-process pool, "process" runs each rank as a child process behind
+// the frame protocol, and the ROADMAP's remote runners slot in behind
+// the same interface without touching callers. Backend errors — a
+// killed child, a diverged replica — surface as per-benchmark errors,
+// never as panics that take the suite down.
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"aibench/internal/models"
-	"aibench/internal/nn"
 	"aibench/internal/telemetry"
-	"aibench/internal/tensor"
 )
 
 // ErrNotShardable reports that a benchmark's workload implements
@@ -45,51 +48,32 @@ import (
 // train data-parallel.
 var ErrNotShardable = errors.New("dist: benchmark implements no sharded train step (models.ShardedTrainer or models.PhasedTrainer)")
 
-// grainResult is one grain's contribution, recorded by the replica
-// that computed it and merged by the coordinator in grain order.
-type grainResult struct {
-	grain int
-	loss  float64
-	n     int
-	grad  []float64 // flattened phase-group gradient after this grain alone
-	buf   []float64 // flattened buffer state after this grain alone
-}
-
 // phaseScratch holds one phase's reusable gather/reduce vectors; the
-// step loop is exactly what ScalingReport and BenchmarkShardedSession
-// wall-clock, so the fixed-size slices are allocated once per phase
-// and recycled instead of churning the GC every step.
+// step loop is exactly what the scaling sweep and
+// BenchmarkShardedSession wall-clock, so the fixed-size slices are
+// allocated once per phase and recycled instead of churning the GC
+// every step.
 type phaseScratch struct {
-	order   []*grainResult
+	order   []*GrainOut
 	vecs    [][]float64
 	scalars [][]float64
 	weights []float64
 }
 
-// Engine trains one benchmark data-parallel across a backend's
-// replica ranks.
+// Engine trains one benchmark data-parallel across a backend's replica
+// ranks. It owns the numbers: the canonical grain order, the
+// fixed-order all-reduce, and the identical update every rank applies
+// — the group underneath only decides where each rank's compute runs.
 type Engine struct {
-	backend   Backend
+	group     Group
+	spec      GroupSpec
+	workers   int
 	reduction Reduction
+	closed    bool
 
-	replicas []models.PhasedTrainer
-	phases   []models.PhaseSpec
-	params   [][]*nn.Param      // per-rank full trainable parameter set
-	groups   [][][]*nn.Param    // [rank][phase]: the phase's reduce group
-	groupLen []int              // flattened length of each phase's group
-	buffers  [][]*tensor.Tensor // per-rank non-gradient state (may be empty)
-	paramLen int
-	bufLen   int
-
-	bufSnap    []float64       // canonical buffer state at phase start
-	results    [][]grainResult // per-rank grain contributions this phase
-	grainCount []int           // per-rank observed grain count (validated equal)
-	reduced    []float64       // all-reduced gradient of the current phase
-	reducedBuf []float64       // all-reduced buffer state
-
-	gradScratch [][][]float64 // [rank][k]: paramLen-capacity per-grain vectors
-	bufScratch  [][][]float64 // [rank][k]: buffer captures of the rank's k-th grain
-	scratch     []phaseScratch
+	reduced    []float64 // all-reduced gradient of the current phase
+	reducedBuf []float64 // all-reduced buffer state
+	scratch    []phaseScratch
 
 	// span, when set, is the parent subsequent steps hang their
 	// phase/allreduce/bufsync telemetry spans under; nil (the default)
@@ -102,82 +86,31 @@ type Engine struct {
 // right epoch. Call between epochs, never mid-step.
 func (e *Engine) SetSpan(s *telemetry.Span) { e.span = s }
 
-// New builds a data-parallel engine for the factory's benchmark: one
-// replica per backend rank, every replica constructed from the same
-// seed (bitwise-identical initialization). A nil backend defaults to a
-// single-rank Local pool. Returns ErrNotShardable when the workload
-// does not expose a shardable train step.
-func New(factory models.Factory, seed int64, backend Backend) (*Engine, error) {
+// New opens a data-parallel engine for the benchmark on the given
+// backend: one replica per rank, every replica constructed from the
+// same seed (bitwise-identical initialization). benchID names the
+// workload in the models registry for out-of-process backends; a nil
+// backend defaults to a single-rank Local pool. Returns
+// ErrNotShardable when the workload does not expose a shardable train
+// step. Callers own Close.
+func New(ctx context.Context, benchID string, factory models.Factory, seed int64, backend Backend) (*Engine, error) {
 	if backend == nil {
 		backend = NewLocal(1)
 	}
-	w := backend.Workers()
+	group, err := backend.Open(ctx, benchID, factory, seed)
+	if err != nil {
+		return nil, err
+	}
+	spec := group.Spec()
 	e := &Engine{
-		backend:     backend,
-		reduction:   Linear,
-		replicas:    make([]models.PhasedTrainer, w),
-		params:      make([][]*nn.Param, w),
-		groups:      make([][][]*nn.Param, w),
-		buffers:     make([][]*tensor.Tensor, w),
-		results:     make([][]grainResult, w),
-		grainCount:  make([]int, w),
-		gradScratch: make([][][]float64, w),
-		bufScratch:  make([][][]float64, w),
+		group:      group,
+		spec:       spec,
+		workers:    backend.Workers(),
+		reduction:  Linear,
+		reduced:    make([]float64, spec.ParamLen),
+		reducedBuf: make([]float64, spec.BufLen),
+		scratch:    make([]phaseScratch, len(spec.Phases)),
 	}
-	for r := 0; r < w; r++ {
-		wl := factory(seed)
-		st := models.AsPhased(wl)
-		if st == nil {
-			return nil, ErrNotShardable
-		}
-		e.replicas[r] = st
-		e.params[r] = st.Module().Params()
-		if bt, ok := wl.(models.Buffered); ok {
-			e.buffers[r] = bt.Buffers()
-		}
-	}
-	e.phases = e.replicas[0].Phases()
-	if len(e.phases) == 0 {
-		return nil, fmt.Errorf("dist: %s declares no phases", e.replicas[0].Name())
-	}
-	reporting := false
-	for _, p := range e.phases {
-		reporting = reporting || p.Report
-	}
-	if !reporting {
-		return nil, fmt.Errorf("dist: %s declares no reporting phase", e.replicas[0].Name())
-	}
-	for _, p := range e.params[0] {
-		e.paramLen += p.Value.Data.Size()
-	}
-	for _, b := range e.buffers[0] {
-		e.bufLen += b.Size()
-	}
-	e.groupLen = make([]int, len(e.phases))
-	for r := 0; r < w; r++ {
-		e.groups[r] = make([][]*nn.Param, len(e.phases))
-		for p := range e.phases {
-			g := e.replicas[r].PhaseParams(p)
-			if g == nil {
-				g = e.params[r]
-			}
-			e.groups[r][p] = g
-			n := 0
-			for _, pr := range g {
-				n += pr.Value.Data.Size()
-			}
-			if r == 0 {
-				e.groupLen[p] = n
-			} else if n != e.groupLen[p] {
-				return nil, fmt.Errorf("dist: replica %d phase %q group length %d differs from replica 0's %d",
-					r, e.phases[p].Name, n, e.groupLen[p])
-			}
-		}
-	}
-	e.scratch = make([]phaseScratch, len(e.phases))
-	e.bufSnap = make([]float64, e.bufLen)
-	e.reduced = make([]float64, e.paramLen)
-	e.reducedBuf = make([]float64, e.bufLen)
 	return e, nil
 }
 
@@ -193,74 +126,104 @@ func Shardable(factory models.Factory) bool {
 func (e *Engine) SetReduction(r Reduction) { e.reduction = r }
 
 // Workers returns the backend's replica count.
-func (e *Engine) Workers() int { return e.backend.Workers() }
+func (e *Engine) Workers() int { return e.workers }
 
-// Benchmark returns the rank-0 replica (for metadata: name, target,
-// metric direction). All replicas are bitwise-identical.
-func (e *Engine) Benchmark() models.Benchmark { return e.replicas[0] }
+// Name returns the benchmark's name as the replicas constructed it.
+func (e *Engine) Name() string { return e.spec.Name }
+
+// Target returns the benchmark's scaled quality target.
+func (e *Engine) Target() float64 { return e.spec.Target }
+
+// MeetsTarget reports whether quality q satisfies the benchmark's
+// target given its metric direction.
+func (e *Engine) MeetsTarget(q float64) bool { return e.spec.MeetsTarget(q) }
 
 // Phases returns the benchmark's per-step phase list (one entry, named
 // "step", for single-phase trainers).
-func (e *Engine) Phases() []models.PhaseSpec { return e.phases }
+func (e *Engine) Phases() []models.PhaseSpec { return e.spec.Phases }
+
+// Close releases the replica group (child processes, pool slots).
+// Idempotent; call before the telemetry tracer stops so process
+// backends can fold their children's counters into the run's plane.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.group.Close()
+}
 
 // TrainEpoch runs one data-parallel epoch and returns the mean step
 // loss, matching the Benchmark.TrainEpoch contract. A step's loss is
-// the mean over its reporting phases' reduced losses.
-func (e *Engine) TrainEpoch() float64 {
-	e.backend.Run(func(r int) { e.replicas[r].BeginEpoch() })
-	steps := e.replicas[0].StepsPerEpoch()
+// the mean over its reporting phases' reduced losses. An error means
+// the group failed (a dead replica, a determinism violation) and the
+// engine is no longer usable.
+func (e *Engine) TrainEpoch() (float64, error) {
+	steps, err := e.group.BeginEpoch()
+	if err != nil {
+		return 0, err
+	}
 	if steps <= 0 {
-		return 0
+		return 0, nil
 	}
 	total := 0.0
 	for s := 0; s < steps; s++ {
-		total += e.step()
+		loss, err := e.step()
+		if err != nil {
+			return 0, err
+		}
+		total += loss
 	}
-	return total / float64(steps)
+	return total / float64(steps), nil
 }
 
 // Quality evaluates the benchmark metric. Every replica evaluates —
 // evaluation may draw from the dataset RNG stream (negative sampling),
 // and identical draws keep all replicas in lockstep — and the engine
 // verifies the replicas agree before returning the shared value.
-func (e *Engine) Quality() float64 {
-	q := make([]float64, len(e.replicas))
-	e.backend.Run(func(r int) { q[r] = e.replicas[r].Quality() })
+func (e *Engine) Quality() (float64, error) {
+	q, err := e.group.Quality()
+	if err != nil {
+		return 0, err
+	}
 	for r := 1; r < len(q); r++ {
 		if math.Float64bits(q[r]) != math.Float64bits(q[0]) {
-			panic(fmt.Sprintf("dist: replica %d quality %v diverged from replica 0 quality %v", r, q[r], q[0]))
+			return 0, fmt.Errorf("dist: replica %d quality %v diverged from replica 0 quality %v", r, q[r], q[0])
 		}
 	}
-	return q[0]
+	return q[0], nil
 }
 
 // step executes one data-parallel optimizer step: every phase in
 // declared order — compute grains, all-reduce the phase group, apply —
 // so later phases observe earlier phases' parameter updates.
-func (e *Engine) step() float64 {
+func (e *Engine) step() (float64, error) {
 	span := e.span.Child("step")
 	defer span.End()
 	total, reporting := 0.0, 0
-	for p := range e.phases {
-		loss := e.runPhase(p, span)
-		if e.phases[p].Report {
+	for p := range e.spec.Phases {
+		loss, err := e.runPhase(p, span)
+		if err != nil {
+			return 0, err
+		}
+		if e.spec.Phases[p].Report {
 			total += loss
 			reporting++
 		}
 	}
-	return total / float64(reporting)
+	return total / float64(reporting), nil
 }
 
 // runPhase executes one phase of the current step and returns the
 // phase's reduced loss. Telemetry spans hang off parent (nil disables):
-// a "phase:<name>" span with compute/allreduce/bufsync/apply children,
-// the reduce spans carrying the float counts they combined.
-func (e *Engine) runPhase(p int, parent *telemetry.Span) float64 {
-	span := parent.Child("phase:" + e.phases[p].Name)
+// a "phase:<name>" span with compute/allreduce/bufsync/apply children
+// — the compute span carrying one replica:<rank> child per rank with
+// its grain share, the reduce spans carrying the float counts they
+// combined.
+func (e *Engine) runPhase(p int, parent *telemetry.Span) (float64, error) {
+	span := parent.Child("phase:" + e.spec.Phases[p].Name)
 	defer span.End()
-	w := e.backend.Workers()
-	plen := e.groupLen[p]
-	e.snapshotBuffers()
+	plen := e.spec.GroupLen[p]
 
 	// Compute: every replica draws the phase's batch (the identical
 	// draw keeps dataset RNG streams in lockstep) and runs
@@ -268,40 +231,30 @@ func (e *Engine) runPhase(p int, parent *telemetry.Span) float64 {
 	// each grain's phase-group gradient and buffer capture in
 	// isolation.
 	cspan := span.Child("compute")
-	e.backend.Run(func(r int) {
-		grains := e.replicas[r].BeginPhase(p)
-		e.grainCount[r] = len(grains)
-		e.results[r] = e.results[r][:0]
-		k := 0
-		for g := r; g < len(grains); g += w {
-			e.restoreBuffers(r)
-			zeroGrads(e.params[r])
-			loss, n := grains[g]()
-			grad := scratchVec(&e.gradScratch[r], k, e.paramLen)[:plen]
-			e.flattenGradsInto(r, p, grad)
-			buf := scratchVec(&e.bufScratch[r], k, e.bufLen)
-			e.flattenBuffersInto(r, buf)
-			e.results[r] = append(e.results[r], grainResult{
-				grain: g, loss: loss, n: n, grad: grad, buf: buf,
-			})
-			k++
-		}
-	})
-
+	outs, err := e.group.ComputePhase(p)
+	if err != nil {
+		cspan.End()
+		return 0, err
+	}
+	for r := range outs {
+		rspan := cspan.Child(fmt.Sprintf("replica:%d", r))
+		rspan.Add(int64(len(outs[r].Grains)))
+		rspan.End()
+	}
 	cspan.End()
 
 	// Gather grains in canonical order and all-reduce.
-	total := e.grainCount[0]
+	total := outs[0].Total
 	telemetry.Count(telemetry.CounterGrains, int64(total))
-	for r := 1; r < w; r++ {
-		if e.grainCount[r] != total {
-			panic(fmt.Sprintf("dist: phase %q: replica %d produced %d grains, replica 0 produced %d",
-				e.phases[p].Name, r, e.grainCount[r], total))
+	for r := 1; r < len(outs); r++ {
+		if outs[r].Total != total {
+			return 0, fmt.Errorf("dist: phase %q: replica %d produced %d grains, replica 0 produced %d",
+				e.spec.Phases[p].Name, r, outs[r].Total, total)
 		}
 	}
 	sc := &e.scratch[p]
 	if len(sc.order) != total {
-		sc.order = make([]*grainResult, total)
+		sc.order = make([]*GrainOut, total)
 		sc.vecs = make([][]float64, total)
 		sc.weights = make([]float64, total)
 		sc.scalars = make([][]float64, total)
@@ -309,20 +262,30 @@ func (e *Engine) runPhase(p int, parent *telemetry.Span) float64 {
 			sc.scalars[g] = make([]float64, 1)
 		}
 	}
-	for r := range e.results {
-		for i := range e.results[r] {
-			gr := &e.results[r][i]
-			sc.order[gr.grain] = gr
+	for g := range sc.order {
+		sc.order[g] = nil
+	}
+	for r := range outs {
+		for i := range outs[r].Grains {
+			gr := &outs[r].Grains[i]
+			if gr.Grain < 0 || gr.Grain >= total || sc.order[gr.Grain] != nil {
+				return 0, fmt.Errorf("dist: phase %q: replica %d reported grain %d outside its round-robin share",
+					e.spec.Phases[p].Name, r, gr.Grain)
+			}
+			sc.order[gr.Grain] = gr
 		}
 	}
 	samples := 0
-	for _, gr := range sc.order {
-		samples += gr.n
+	for g, gr := range sc.order {
+		if gr == nil {
+			return 0, fmt.Errorf("dist: phase %q: no replica produced grain %d", e.spec.Phases[p].Name, g)
+		}
+		samples += gr.N
 	}
 	for g, gr := range sc.order {
-		sc.vecs[g] = gr.grad
-		sc.scalars[g][0] = gr.loss
-		sc.weights[g] = float64(gr.n) / float64(samples)
+		sc.vecs[g] = gr.Grad
+		sc.scalars[g][0] = gr.Loss
+		sc.weights[g] = float64(gr.N) / float64(samples)
 	}
 	// The gradient reduce and the loss-scalar reduce are two rounds over
 	// total grains of plen and 1 floats respectively.
@@ -335,112 +298,26 @@ func (e *Engine) runPhase(p int, parent *telemetry.Span) float64 {
 	telemetry.Count(telemetry.CounterReduceRounds, 2)
 	telemetry.Count(telemetry.CounterReduceFloats, int64(total)*int64(plen+1))
 	phaseLoss := lossOut[0]
-	if e.bufLen > 0 {
+	if e.spec.BufLen > 0 {
 		bspan := span.Child("bufsync")
 		for g, gr := range sc.order {
-			sc.vecs[g] = gr.buf
+			sc.vecs[g] = gr.Buf
 		}
 		Reduce(e.reduction, sc.vecs, sc.weights, e.reducedBuf)
-		bspan.Add(int64(total) * int64(e.bufLen))
+		bspan.Add(int64(total) * int64(e.spec.BufLen))
 		bspan.End()
 		telemetry.Count(telemetry.CounterReduceRounds, 1)
-		telemetry.Count(telemetry.CounterReduceFloats, int64(total)*int64(e.bufLen))
+		telemetry.Count(telemetry.CounterReduceFloats, int64(total)*int64(e.spec.BufLen))
 	}
 
 	// Apply: install the reduced gradient (and buffer state) on every
 	// replica and apply the identical phase update, keeping replicas
 	// bitwise in lockstep.
 	aspan := span.Child("apply")
-	e.backend.Run(func(r int) {
-		e.installGrads(r, p)
-		e.installBuffers(r)
-		e.replicas[r].ApplyPhase(p)
-	})
+	err = e.group.ApplyPhase(p, e.reduced[:plen], e.reducedBuf)
 	aspan.End()
-	return phaseLoss
-}
-
-// snapshotBuffers records the canonical buffer state at phase start
-// (all replicas are identical; rank 0 is read).
-func (e *Engine) snapshotBuffers() {
-	off := 0
-	for _, b := range e.buffers[0] {
-		off += copy(e.bufSnap[off:], b.Data)
+	if err != nil {
+		return 0, err
 	}
-}
-
-// restoreBuffers resets rank r's buffers to the phase-start snapshot so
-// every grain's capture starts from the same state regardless of which
-// grains this replica ran before it.
-func (e *Engine) restoreBuffers(r int) {
-	off := 0
-	for _, b := range e.buffers[r] {
-		off += copy(b.Data, e.bufSnap[off:off+b.Size()])
-	}
-}
-
-// scratchVec returns the k-th reusable vector of the pool, growing the
-// pool on first use. Each grain slot is written by exactly one rank per
-// phase, so reuse is race-free; vectors are sized for the largest
-// (full-parameter) group and sliced down by the caller.
-func scratchVec(pool *[][]float64, k, n int) []float64 {
-	for len(*pool) <= k {
-		*pool = append(*pool, make([]float64, n))
-	}
-	return (*pool)[k]
-}
-
-// flattenGradsInto copies rank r's phase-group gradients into the flat
-// vector (nil gradients contribute zeros; dst is fully overwritten).
-func (e *Engine) flattenGradsInto(r, p int, dst []float64) {
-	off := 0
-	for _, pr := range e.groups[r][p] {
-		n := pr.Value.Data.Size()
-		if g := pr.Value.Grad; g != nil {
-			copy(dst[off:off+n], g.Data)
-		} else {
-			for j := off; j < off+n; j++ {
-				dst[j] = 0
-			}
-		}
-		off += n
-	}
-}
-
-// flattenBuffersInto copies rank r's buffer state into the flat vector.
-func (e *Engine) flattenBuffersInto(r int, dst []float64) {
-	off := 0
-	for _, b := range e.buffers[r] {
-		off += copy(dst[off:], b.Data)
-	}
-}
-
-// installGrads writes the all-reduced gradient into rank r's
-// phase-group parameters.
-func (e *Engine) installGrads(r, p int) {
-	off := 0
-	for _, pr := range e.groups[r][p] {
-		n := pr.Value.Data.Size()
-		copy(pr.Value.EnsureGrad().Data, e.reduced[off:off+n])
-		off += n
-	}
-}
-
-// installBuffers writes the all-reduced buffer state into rank r's
-// buffers.
-func (e *Engine) installBuffers(r int) {
-	off := 0
-	for _, b := range e.buffers[r] {
-		off += copy(b.Data, e.reducedBuf[off:off+b.Size()])
-	}
-}
-
-// zeroGrads clears every parameter gradient before a grain runs, so
-// the grain's backward pass records its contribution alone — including
-// gradients outside the phase's reduce group, which would otherwise
-// leak into a later grain's capture of another phase.
-func zeroGrads(ps []*nn.Param) {
-	for _, p := range ps {
-		p.Value.ZeroGrad()
-	}
+	return phaseLoss, nil
 }

@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -133,14 +134,16 @@ func TestShardedEntireSessionIdentical(t *testing.T) {
 func TestTreeReductionDeterministic(t *testing.T) {
 	factory := findFactory(t, "DC-AI-C10")
 	train := func(shards int) []float64 {
-		eng, err := dist.New(factory, 7, dist.NewLocal(shards))
+		eng, err := dist.New(context.Background(), "DC-AI-C10", factory, 7, dist.NewLocal(shards))
 		if err != nil {
 			t.Fatal(err)
 		}
 		eng.SetReduction(dist.Tree)
 		losses := make([]float64, 3)
 		for e := range losses {
-			losses[e] = eng.TrainEpoch()
+			if losses[e], err = eng.TrainEpoch(); err != nil {
+				t.Fatal(err)
+			}
 		}
 		return losses
 	}
@@ -174,14 +177,20 @@ func TestNotShardableFallsBackToSerial(t *testing.T) {
 func TestAllReduceUnderContention(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
-	eng, err := dist.New(findFactory(t, "DC-AI-C1"), 3, dist.NewLocal(6))
+	eng, err := dist.New(context.Background(), "DC-AI-C1", findFactory(t, "DC-AI-C1"), 3, dist.NewLocal(6))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for e := 0; e < 2; e++ {
-		eng.TrainEpoch()
+		if _, err := eng.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if q := eng.Quality(); math.IsNaN(q) {
+	q, err := eng.Quality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(q) {
 		t.Fatal("quality is NaN after contended training")
 	}
 }
@@ -222,13 +231,15 @@ func BenchmarkShardedSession(b *testing.B) {
 	for _, id := range []string{"DC-AI-C1", "DC-AI-C2", "DC-AI-C17"} {
 		for _, shards := range []int{1, 2, 4} {
 			b.Run(fmt.Sprintf("%s/shards=%d", id, shards), func(b *testing.B) {
-				eng, err := dist.New(findFactory(b, id), 11, dist.NewLocal(shards))
+				eng, err := dist.New(context.Background(), id, findFactory(b, id), 11, dist.NewLocal(shards))
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					eng.TrainEpoch()
+					if _, err := eng.TrainEpoch(); err != nil {
+						b.Fatal(err)
+					}
 				}
 			})
 		}

@@ -1,0 +1,15 @@
+package dist
+
+// EnginePIDs exposes the process backend's child pids so crash tests
+// can SIGKILL a live replica mid-epoch; empty for in-process groups.
+func EnginePIDs(e *Engine) []int {
+	pg, ok := e.group.(*processGroup)
+	if !ok {
+		return nil
+	}
+	pids := make([]int, 0, len(pg.procs))
+	for _, wp := range pg.procs {
+		pids = append(pids, wp.cmd.Process.Pid)
+	}
+	return pids
+}

@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"aibench/internal/models"
+)
+
+// The wire protocol between the process backend and its worker
+// children: length-prefixed binary frames over the child's
+// stdin/stdout pipes.
+//
+//	u32 length (little-endian, = 1 + len(payload))
+//	u8  type
+//	payload
+//
+// Payload fields are fixed-width little-endian integers, float64s as
+// their IEEE-754 bit patterns (math.Float64bits — the round trip is
+// bitwise, which is what makes cross-backend determinism provable),
+// strings and vectors length-prefixed with a u32. The protocol is
+// strictly request/reply per rank and the parent is the only
+// initiator, so no frame ever needs reordering or an id.
+const (
+	// parent → child
+	frameHello      byte = iota + 1 // benchID, seed, rank, workers, counters
+	frameBeginEpoch                 // (empty)
+	frameCompute                    // phase
+	frameApply                      // phase, grad, buf
+	frameQuality                    // (empty)
+	frameClose                      // (empty)
+
+	// child → parent
+	frameSpec       // GroupSpec
+	frameEpochSteps // steps
+	framePhaseOut   // PhaseOut
+	frameApplied    // (empty)
+	frameQualityOut // quality
+	frameClosed     // CounterSet capture
+	frameError      // message (terminal: the child is giving up)
+)
+
+// maxFrame bounds a frame the parent will allocate for: a gradient
+// frame is O(grains × paramLen) float64s, far under this for every
+// benchmark in the zoo, while a corrupt length prefix would otherwise
+// ask for gigabytes.
+const maxFrame = 1 << 30
+
+// writeFrame emits one frame and flushes, so the peer — always blocked
+// reading between requests — sees it immediately.
+func writeFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one frame. io.EOF surfaces unchanged so callers can
+// tell a cleanly-closed pipe (dead peer) from a protocol error.
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("dist: truncated frame: %v", err)
+	}
+	return body[0], body[1:], nil
+}
+
+// Payload append helpers.
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+func appendF64s(b []byte, vs []float64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// frameReader decodes a payload sequentially; the first short read
+// latches an error and every later call returns zero values, so decode
+// sequences read cleanly and check fr.err once.
+type frameReader struct {
+	b   []byte
+	err error
+}
+
+// need reports whether n more bytes are available, latching a
+// truncation error when they are not.
+func (f *frameReader) need(n int) bool {
+	if f.err != nil {
+		return false
+	}
+	if len(f.b) < n {
+		f.err = fmt.Errorf("dist: truncated frame payload")
+		return false
+	}
+	return true
+}
+
+func (f *frameReader) u32() uint32 {
+	if !f.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(f.b)
+	f.b = f.b[4:]
+	return v
+}
+
+func (f *frameReader) u64() uint64 {
+	if !f.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(f.b)
+	f.b = f.b[8:]
+	return v
+}
+
+func (f *frameReader) f64() float64 { return math.Float64frombits(f.u64()) }
+
+func (f *frameReader) bool() bool {
+	if !f.need(1) {
+		return false
+	}
+	v := f.b[0] != 0
+	f.b = f.b[1:]
+	return v
+}
+
+func (f *frameReader) str() string {
+	n := int(f.u32())
+	if !f.need(n) {
+		return ""
+	}
+	s := string(f.b[:n])
+	f.b = f.b[n:]
+	return s
+}
+
+// f64s decodes a float vector into dst (grown as needed, reused
+// otherwise) so steady-state steps do not reallocate.
+func (f *frameReader) f64s(dst []float64) []float64 {
+	n := int(f.u32())
+	if !f.need(8 * n) {
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(f.b[8*i:]))
+	}
+	f.b = f.b[8*n:]
+	return dst
+}
+
+// Spec and phase-output frame bodies, shared by both ends.
+
+func encodeSpec(s GroupSpec) []byte {
+	b := appendStr(nil, s.Name)
+	b = appendF64(b, s.Target)
+	b = appendBool(b, s.LowerIsBetter)
+	b = appendU32(b, uint32(len(s.Phases)))
+	for p, ph := range s.Phases {
+		b = appendStr(b, ph.Name)
+		b = appendBool(b, ph.Report)
+		b = appendU32(b, uint32(s.GroupLen[p]))
+	}
+	b = appendU32(b, uint32(s.ParamLen))
+	b = appendU32(b, uint32(s.BufLen))
+	return b
+}
+
+func decodeSpec(payload []byte) (GroupSpec, error) {
+	fr := &frameReader{b: payload}
+	s := GroupSpec{
+		Name:          fr.str(),
+		Target:        fr.f64(),
+		LowerIsBetter: fr.bool(),
+	}
+	n := int(fr.u32())
+	if fr.err == nil && n > 0 {
+		s.Phases = make([]models.PhaseSpec, 0, n)
+		s.GroupLen = make([]int, 0, n)
+		for i := 0; i < n && fr.err == nil; i++ {
+			name := fr.str()
+			report := fr.bool()
+			s.Phases = append(s.Phases, models.PhaseSpec{Name: name, Report: report})
+			s.GroupLen = append(s.GroupLen, int(fr.u32()))
+		}
+	}
+	s.ParamLen = int(fr.u32())
+	s.BufLen = int(fr.u32())
+	return s, fr.err
+}
+
+func encodePhaseOut(out PhaseOut) []byte {
+	b := appendU32(nil, uint32(out.Total))
+	b = appendU32(b, uint32(len(out.Grains)))
+	for _, g := range out.Grains {
+		b = appendU32(b, uint32(g.Grain))
+		b = appendU32(b, uint32(g.N))
+		b = appendF64(b, g.Loss)
+		b = appendF64s(b, g.Grad)
+		b = appendF64s(b, g.Buf)
+	}
+	return b
+}
+
+// decodePhaseOut decodes into out, reusing its grain vectors.
+func decodePhaseOut(payload []byte, out *PhaseOut) error {
+	fr := &frameReader{b: payload}
+	out.Total = int(fr.u32())
+	n := int(fr.u32())
+	if fr.err != nil {
+		return fr.err
+	}
+	for len(out.Grains) < n {
+		out.Grains = append(out.Grains, GrainOut{})
+	}
+	out.Grains = out.Grains[:n]
+	for i := 0; i < n; i++ {
+		g := &out.Grains[i]
+		g.Grain = int(fr.u32())
+		g.N = int(fr.u32())
+		g.Loss = fr.f64()
+		g.Grad = fr.f64s(g.Grad)
+		g.Buf = fr.f64s(g.Buf)
+	}
+	return fr.err
+}

@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -107,11 +108,14 @@ func TestPhaseOrderAndIsolation(t *testing.T) {
 			replicas = append(replicas, f) // dist.New constructs replicas serially
 			return f
 		}
-		eng, err := dist.New(factory, 1, dist.NewLocal(workers))
+		eng, err := dist.New(context.Background(), "", factory, 1, dist.NewLocal(workers))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		loss := eng.TrainEpoch()
+		loss, err := eng.TrainEpoch()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		if loss != 5 {
 			t.Errorf("workers=%d: epoch loss %v, want the reporting phase's 5", workers, loss)
 		}

@@ -1,0 +1,314 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"aibench/internal/models"
+	"aibench/internal/telemetry"
+	"aibench/internal/tensor"
+)
+
+// Process runs each replica rank as a child of this binary re-executed
+// in worker mode, exchanging gradient and buffer frames over the
+// child's stdin/stdout pipes. The engine's grain decomposition and
+// fixed-order all-reduce are untouched — the frame codec round-trips
+// float64 bit patterns — so results are bitwise-identical to the Local
+// backend; what changes is the failure domain: a replica that panics,
+// OOMs, or is killed takes down one child process and surfaces as an
+// error on its own benchmark, never as a crash of the suite.
+type Process struct {
+	workers int
+}
+
+// NewProcess returns a process-isolation backend with the given worker
+// count (minimum 1).
+func NewProcess(workers int) *Process {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Process{workers: workers}
+}
+
+// Name implements Backend.
+func (p *Process) Name() string { return "process" }
+
+// Workers implements Backend.
+func (p *Process) Workers() int { return p.workers }
+
+// Open spawns one worker child per rank (this binary re-executed with
+// WorkerEnv set), sends each its hello, and validates the specs the
+// children constructed. The context bounds the children's lifetime:
+// cancellation kills them. The factory is unused — children rebuild the
+// workload from benchID on their side of the pipe, which is exactly
+// what makes the isolation real.
+func (p *Process) Open(ctx context.Context, benchID string, _ models.Factory, seed int64) (Group, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: process backend: locating executable: %v", err)
+	}
+	g := &processGroup{
+		procs:    make([]*workerProc, 0, p.workers),
+		outs:     make([]PhaseOut, p.workers),
+		quals:    make([]float64, p.workers),
+		counters: telemetry.Enabled(),
+	}
+	// The hello carries the parent's active kernel: kernel selection is
+	// process-global, so each child must mirror it or its floats could
+	// come from a different dispatch path than the local backend's.
+	hello := func(rank int) []byte {
+		b := appendStr(nil, benchID)
+		b = appendStr(b, tensor.ActiveKernels().Name())
+		b = appendU64(b, uint64(seed))
+		b = appendU32(b, uint32(rank))
+		b = appendU32(b, uint32(p.workers))
+		return appendBool(b, g.counters)
+	}
+	for rank := 0; rank < p.workers; rank++ {
+		cmd := exec.CommandContext(ctx, exe, "worker")
+		cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+		cmd.Stderr = os.Stderr
+		stdin, perr := cmd.StdinPipe()
+		if perr == nil {
+			var stdout io.ReadCloser
+			if stdout, perr = cmd.StdoutPipe(); perr == nil {
+				if perr = cmd.Start(); perr == nil {
+					g.procs = append(g.procs, &workerProc{
+						cmd: cmd,
+						in:  stdin,
+						bw:  bufio.NewWriterSize(stdin, 1<<16),
+						br:  bufio.NewReaderSize(stdout, 1<<16),
+					})
+					continue
+				}
+			}
+		}
+		g.kill()
+		return nil, fmt.Errorf("dist: process backend: spawning replica %d: %v", rank, perr)
+	}
+	specs := make([]GroupSpec, p.workers)
+	for rank, wp := range g.procs {
+		if err := writeFrame(wp.bw, frameHello, hello(rank)); err != nil {
+			g.kill()
+			return nil, fmt.Errorf("dist: process backend: replica %d: sending hello: %v", rank, err)
+		}
+	}
+	for rank, wp := range g.procs {
+		payload, err := g.recv(rank, wp, frameSpec)
+		if err != nil {
+			g.kill()
+			return nil, err
+		}
+		spec, derr := decodeSpec(payload)
+		if derr != nil {
+			g.kill()
+			return nil, fmt.Errorf("dist: process backend: replica %d: %v", rank, derr)
+		}
+		specs[rank] = spec
+	}
+	if err := validateSpecs(specs); err != nil {
+		g.kill()
+		return nil, err
+	}
+	g.spec = specs[0]
+	return g, nil
+}
+
+// workerProc is one child: its process handle and the buffered frame
+// pipes to it.
+type workerProc struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	bw  *bufio.Writer
+	br  *bufio.Reader
+}
+
+// processGroup drives the worker children. Every collective sends the
+// command to all ranks first (children overlap their compute) and then
+// reads replies rank by rank. Any pipe failure marks the group broken:
+// further collectives fail fast and Close kills whatever is left.
+type processGroup struct {
+	spec     GroupSpec
+	procs    []*workerProc
+	outs     []PhaseOut
+	quals    []float64
+	counters bool
+	broken   bool
+	closed   bool
+}
+
+// recv reads one frame from a rank and requires the given type. A
+// closed pipe or an error frame is translated into the per-benchmark
+// error the session records as the failure reason.
+func (g *processGroup) recv(rank int, wp *workerProc, want byte) ([]byte, error) {
+	typ, payload, err := g.recvAny(rank, wp)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		g.broken = true
+		return nil, fmt.Errorf("dist: process backend: replica %d: expected frame type %d, got %d", rank, want, typ)
+	}
+	return payload, nil
+}
+
+func (g *processGroup) recvAny(rank int, wp *workerProc) (byte, []byte, error) {
+	typ, payload, err := readFrame(wp.br)
+	if err != nil {
+		g.broken = true
+		if err == io.EOF {
+			return 0, nil, fmt.Errorf("dist: process backend: replica %d exited mid-run (killed or crashed)", rank)
+		}
+		return 0, nil, fmt.Errorf("dist: process backend: replica %d: %v", rank, err)
+	}
+	if typ == frameError {
+		g.broken = true
+		fr := &frameReader{b: payload}
+		return 0, nil, fmt.Errorf("dist: process backend: replica %d: %s", rank, fr.str())
+	}
+	return typ, payload, nil
+}
+
+// collective broadcasts one command frame and then collects each
+// rank's reply of the wanted type through per-rank handler calls.
+func (g *processGroup) collective(typ byte, payload []byte, want byte, handle func(rank int, payload []byte) error) error {
+	if g.broken || g.closed {
+		return fmt.Errorf("dist: process backend: replica group is down")
+	}
+	for rank, wp := range g.procs {
+		if err := writeFrame(wp.bw, typ, payload); err != nil {
+			g.broken = true
+			return fmt.Errorf("dist: process backend: replica %d: %v", rank, err)
+		}
+	}
+	for rank, wp := range g.procs {
+		body, err := g.recv(rank, wp, want)
+		if err != nil {
+			return err
+		}
+		if handle != nil {
+			if err := handle(rank, body); err != nil {
+				g.broken = true
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *processGroup) Spec() GroupSpec { return g.spec }
+
+func (g *processGroup) BeginEpoch() (int, error) {
+	steps := 0
+	err := g.collective(frameBeginEpoch, nil, frameEpochSteps, func(rank int, body []byte) error {
+		fr := &frameReader{b: body}
+		s := int(fr.u32())
+		if fr.err != nil {
+			return fmt.Errorf("dist: process backend: replica %d: %v", rank, fr.err)
+		}
+		if rank == 0 {
+			steps = s
+		} else if s != steps {
+			return fmt.Errorf("dist: process backend: replica %d reported %d steps, replica 0 reported %d", rank, s, steps)
+		}
+		return nil
+	})
+	return steps, err
+}
+
+func (g *processGroup) ComputePhase(p int) ([]PhaseOut, error) {
+	err := g.collective(frameCompute, appendU32(nil, uint32(p)), framePhaseOut, func(rank int, body []byte) error {
+		if derr := decodePhaseOut(body, &g.outs[rank]); derr != nil {
+			return fmt.Errorf("dist: process backend: replica %d: %v", rank, derr)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g.outs, nil
+}
+
+func (g *processGroup) ApplyPhase(p int, grad, buf []float64) error {
+	body := appendU32(nil, uint32(p))
+	body = appendF64s(body, grad)
+	body = appendF64s(body, buf)
+	return g.collective(frameApply, body, frameApplied, nil)
+}
+
+func (g *processGroup) Quality() ([]float64, error) {
+	err := g.collective(frameQuality, nil, frameQualityOut, func(rank int, body []byte) error {
+		fr := &frameReader{b: body}
+		g.quals[rank] = fr.f64()
+		if fr.err != nil {
+			return fmt.Errorf("dist: process backend: replica %d: %v", rank, fr.err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g.quals, nil
+}
+
+// Close shuts the children down. On the clean path each child gets a
+// close frame, replies with its deterministic-counter capture — merged
+// into the parent's plane before the tracer snapshots it — and is
+// reaped; on the broken path whatever is left is killed. Idempotent.
+func (g *processGroup) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.broken {
+		g.kill()
+		return nil
+	}
+	var first error
+	for rank, wp := range g.procs {
+		err := func() error {
+			if werr := writeFrame(wp.bw, frameClose, nil); werr != nil {
+				return fmt.Errorf("dist: process backend: replica %d: %v", rank, werr)
+			}
+			body, rerr := g.recv(rank, wp, frameClosed)
+			if rerr != nil {
+				return rerr
+			}
+			fr := &frameReader{b: body}
+			var cs telemetry.CounterSet
+			if jerr := json.Unmarshal([]byte(fr.str()), &cs); jerr != nil {
+				return fmt.Errorf("dist: process backend: replica %d: decoding counters: %v", rank, jerr)
+			}
+			if g.counters {
+				telemetry.Merge(cs)
+			}
+			return nil
+		}()
+		if err != nil && first == nil {
+			first = err
+		}
+		if err != nil {
+			_ = wp.cmd.Process.Kill()
+		}
+		_ = wp.in.Close()
+		if werr := wp.cmd.Wait(); werr != nil && first == nil && err == nil {
+			first = fmt.Errorf("dist: process backend: replica %d: %v", rank, werr)
+		}
+	}
+	return first
+}
+
+// kill tears down every child unconditionally (broken groups, failed
+// opens). Wait errors are expected — the children were killed.
+func (g *processGroup) kill() {
+	for _, wp := range g.procs {
+		_ = wp.cmd.Process.Kill()
+		_ = wp.in.Close()
+		_ = wp.cmd.Wait()
+	}
+}

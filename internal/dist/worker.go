@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aibench/internal/models"
+	"aibench/internal/telemetry"
+	"aibench/internal/tensor"
+)
+
+// WorkerEnv marks a process as a dist worker child. The Process
+// backend sets it when spawning, and the CLI (and the dist package's
+// own test binary) dispatches into WorkerMain when it is present —
+// argv alone cannot be trusted because `go test` owns the test
+// binary's flags.
+const WorkerEnv = "AIBENCH_DIST_WORKER"
+
+// WorkerMain is the replica side of the process backend: a
+// request/reply loop over length-prefixed frames on (r, w), normally
+// the child's stdin/stdout. It constructs exactly one replica from the
+// hello frame and then serves collectives until a close frame or EOF
+// (the parent died — exit quietly, the parent is not listening).
+//
+// Failures are containment boundaries, not crashes: a bad benchmark
+// id, a construction error, or a panic inside the model's own code is
+// reported to the parent as an error frame and the worker exits, so
+// the parent can fail that one benchmark and keep the suite running.
+func WorkerMain(r io.Reader, w io.Writer) (err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	// A panic anywhere below — almost always inside the benchmark's
+	// own train step — becomes an error frame so the parent sees a
+	// reason, not just a closed pipe.
+	defer func() {
+		if p := recover(); p != nil {
+			msg := fmt.Sprintf("replica panicked: %v", p)
+			if werr := writeFrame(bw, frameError, appendStr(nil, msg)); werr != nil {
+				err = werr
+				return
+			}
+			err = fmt.Errorf("dist: %s", msg)
+		}
+	}()
+
+	fail := func(msg string) error {
+		if werr := writeFrame(bw, frameError, appendStr(nil, msg)); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("dist: worker: %s", msg)
+	}
+
+	typ, payload, rerr := readFrame(br)
+	if rerr != nil {
+		if rerr == io.EOF {
+			return nil
+		}
+		return rerr
+	}
+	if typ != frameHello {
+		return fail(fmt.Sprintf("expected hello frame, got type %d", typ))
+	}
+	fr := &frameReader{b: payload}
+	benchID := fr.str()
+	kernel := fr.str()
+	seed := int64(fr.u64())
+	rank := int(fr.u32())
+	workers := int(fr.u32())
+	counters := fr.bool()
+	if fr.err != nil {
+		return fail(fmt.Sprintf("bad hello frame: %v", fr.err))
+	}
+	// Mirror the parent's process-global kernel selection before any
+	// tensor op runs, so both backends dispatch every float through the
+	// same kernel path.
+	if kernel != tensor.ActiveKernels().Name() {
+		if kerr := tensor.UseKernels(kernel); kerr != nil {
+			return fail(kerr.Error())
+		}
+	}
+
+	// The counter gate opens before the replica is constructed so the
+	// capture covers construction kernels too — in local mode the
+	// parent's gate is already open when Open builds its replicas, and
+	// the two planes must merge to identical totals.
+	if counters {
+		telemetry.BeginWorkerCapture()
+	}
+
+	var factory models.Factory
+	for _, e := range models.AllEntries() {
+		if e.ID == benchID {
+			factory = e.Factory
+			break
+		}
+	}
+	if factory == nil {
+		return fail(fmt.Sprintf("unknown benchmark id %q", benchID))
+	}
+	rep, nerr := newReplica(factory, seed, rank, workers)
+	if nerr != nil {
+		return fail(nerr.Error())
+	}
+	if werr := writeFrame(bw, frameSpec, encodeSpec(rep.spec)); werr != nil {
+		return werr
+	}
+
+	var applyGrad, applyBuf []float64 // reused across steps
+	for {
+		typ, payload, rerr := readFrame(br)
+		if rerr != nil {
+			if rerr == io.EOF {
+				return nil
+			}
+			return rerr
+		}
+		fr := &frameReader{b: payload}
+		switch typ {
+		case frameBeginEpoch:
+			steps := rep.beginEpoch()
+			if werr := writeFrame(bw, frameEpochSteps, appendU32(nil, uint32(steps))); werr != nil {
+				return werr
+			}
+		case frameCompute:
+			p := int(fr.u32())
+			if fr.err != nil || p < 0 || p >= len(rep.spec.Phases) {
+				return fail(fmt.Sprintf("bad compute frame (phase %d)", p))
+			}
+			out := rep.computePhase(p)
+			if werr := writeFrame(bw, framePhaseOut, encodePhaseOut(out)); werr != nil {
+				return werr
+			}
+		case frameApply:
+			p := int(fr.u32())
+			applyGrad = fr.f64s(applyGrad)
+			applyBuf = fr.f64s(applyBuf)
+			if fr.err != nil || p < 0 || p >= len(rep.spec.Phases) {
+				return fail(fmt.Sprintf("bad apply frame (phase %d)", p))
+			}
+			rep.apply(p, applyGrad, applyBuf)
+			if werr := writeFrame(bw, frameApplied, nil); werr != nil {
+				return werr
+			}
+		case frameQuality:
+			q := rep.quality()
+			if werr := writeFrame(bw, frameQualityOut, appendF64(nil, q)); werr != nil {
+				return werr
+			}
+		case frameClose:
+			var cs telemetry.CounterSet
+			if counters {
+				cs = telemetry.EndWorkerCapture()
+			}
+			body, jerr := json.Marshal(cs)
+			if jerr != nil {
+				return fail(fmt.Sprintf("encoding counters: %v", jerr))
+			}
+			return writeFrame(bw, frameClosed, appendStr(nil, string(body)))
+		default:
+			return fail(fmt.Sprintf("unexpected frame type %d", typ))
+		}
+	}
+}

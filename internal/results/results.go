@@ -150,6 +150,12 @@ func Read(r io.Reader) (*Stream, error) {
 			continue
 		}
 		s.addRun(env.Run)
+		// Stamp the envelope's run identity on the record, mirroring
+		// what RunResult.Records does live, so renderers can show
+		// run-level columns (backend, kernel) from a rebuilt stream
+		// too. Legacy bare lines above keep a nil Run.
+		run := env.Run
+		rec.Run = &run
 		s.Records = append(s.Records, rec)
 	}
 	if err := sc.Err(); err != nil {

@@ -105,6 +105,48 @@ type CounterSet struct {
 	Kernel       []OpCount `json:"kernel,omitempty"`
 }
 
+// BeginWorkerCapture arms the counter plane inside a dist worker
+// process: counters reset and the gate opens, so every kernel dispatch
+// from replica construction onward is recorded. The worker has no
+// tracer — spans stay parent-side — and ships the capture home with
+// EndWorkerCapture when it shuts down.
+func BeginWorkerCapture() {
+	resetCounters()
+	gate.Store(true)
+}
+
+// EndWorkerCapture closes the worker's gate and returns everything it
+// counted, for the parent to fold into its own plane with Merge.
+func EndWorkerCapture() CounterSet {
+	gate.Store(false)
+	return snapshotCounters()
+}
+
+// Merge folds a worker process's counter capture into this process's
+// plane. Kernel ops are resolved against the fixed enum order, so a
+// merged snapshot is byte-identical to one where the work ran
+// in-process; unknown op names (a newer worker binary) are dropped. A
+// no-op unless a tracer is collecting.
+func Merge(cs CounterSet) {
+	if !gate.Load() {
+		return
+	}
+	counterVals[CounterEpochs].Add(cs.Epochs)
+	counterVals[CounterGrains].Add(cs.Grains)
+	counterVals[CounterReduceRounds].Add(cs.ReduceRounds)
+	counterVals[CounterReduceFloats].Add(cs.ReduceFloats)
+	counterVals[CounterSinkRecords].Add(cs.SinkRecords)
+	for _, oc := range cs.Kernel {
+		for i := 0; i < int(numKernelOps); i++ {
+			if kernelOpNames[i] == oc.Op {
+				kernelCalls[i].Add(oc.Calls)
+				kernelFLOPs[i].Add(oc.FLOPs)
+				break
+			}
+		}
+	}
+}
+
 func resetCounters() {
 	for i := range counterVals {
 		counterVals[i].Store(0)
