@@ -34,6 +34,7 @@ package aibench
 
 import (
 	"io"
+	"runtime"
 
 	"aibench/internal/core"
 	"aibench/internal/dist"
@@ -41,6 +42,7 @@ import (
 	"aibench/internal/results"
 	"aibench/internal/telemetry"
 	"aibench/internal/tensor"
+	"aibench/internal/tune"
 )
 
 // Suite is the top-level handle: the benchmark registry plus the
@@ -101,6 +103,15 @@ type (
 	// RunMetrics is a telemetry run's wall-clock plane (span timings,
 	// pool stats, GC/heap gauges), excluded from result comparison.
 	RunMetrics = telemetry.RunMetrics
+	// TuneConfig is one machine's tuned-kernel configuration: the
+	// per-(op, shape-class) tile winners an `aibench tune` sweep found,
+	// persisted as a `tuneconfig` envelope and reloaded via
+	// Plan.TuneFrom / LoadTuning.
+	TuneConfig = tune.Config
+	// TuneEntry is one (op, shape-class) winner inside a TuneConfig.
+	TuneEntry = tune.Entry
+	// TuneOptions control a TuneKernels sweep.
+	TuneOptions = tune.Options
 )
 
 // The run kinds a Plan can execute.
@@ -123,6 +134,7 @@ const (
 	KindReplay           = core.KindReplay
 	KindTrace            = core.KindTrace
 	KindRunMetrics       = core.KindRunMetrics
+	KindTuneConfig       = core.KindTuneConfig
 )
 
 // NewRunner validates the plan against the suite's registry and
@@ -144,10 +156,10 @@ const (
 	QuasiEntireSession = core.QuasiEntireSession
 )
 
-// UseKernels selects the named compute kernel ("naive", "blocked") for
-// every subsequent tensor operation; see the README's kernel
-// architecture section. Selection is process-global; the AIBENCH_KERNEL
-// environment variable sets the startup default.
+// UseKernels selects the named compute kernel ("naive", "blocked",
+// "tuned") for every subsequent tensor operation; see the README's
+// kernel architecture section. Selection is process-global; the
+// AIBENCH_KERNEL environment variable sets the startup default.
 func UseKernels(name string) error { return tensor.UseKernels(name) }
 
 // KernelNames lists the registered compute kernels.
@@ -155,6 +167,54 @@ func KernelNames() []string { return tensor.KernelNames() }
 
 // ActiveKernel reports which compute kernel tensor ops dispatch to.
 func ActiveKernel() string { return tensor.ActiveKernels().Name() }
+
+// EnvTuneFrom is the environment variable the benchmark harness (and
+// anything else that cannot take a flag) reads at startup to load a
+// persisted tuneconfig stream, mirroring the `-tune-from` CLI flag.
+const EnvTuneFrom = "AIBENCH_TUNE_FROM"
+
+// TuneKernels sweeps the tuned kernel's configuration menu on this
+// machine — a deterministic timed search per (op, shape-class) — and
+// returns the winning TuneConfig. It measures through dedicated hooks
+// without touching the active kernel or tuning; persist the result
+// with ResultWriter (KindTuneConfig) and activate it with ApplyTuning
+// or Plan.TuneFrom.
+func TuneKernels(opts TuneOptions) *TuneConfig { return tune.Search(opts) }
+
+// ApplyTuning validates cfg and activates it as the tuned kernel's
+// parameter set, recording source (a stream path, typically) as its
+// provenance. Tuning, like kernel selection, is process-global and a
+// pure scheduling/perf knob: results are bitwise identical under every
+// config.
+func ApplyTuning(cfg *TuneConfig, source string) error { return tune.Apply(cfg, source) }
+
+// LoadTuning reads the tuneconfig stream at path, selects this
+// machine's config (exact GOARCH+GOMAXPROCS match preferred, then
+// same-GOARCH, error when the architecture is absent), and applies it.
+func LoadTuning(path string) (*TuneConfig, error) {
+	cfgs, err := tune.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := tune.Select(cfgs, runtime.GOARCH, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
+	}
+	if err := tune.Apply(cfg, path); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// TuningSource names where the tuned kernel's active configuration
+// came from: "builtin" until a persisted config is applied, then the
+// source ApplyTuning/LoadTuning recorded.
+func TuningSource() string { return tensor.TuningSource() }
+
+// TuningSummary renders the tuned kernel's active configuration as one
+// line (per-shape-class tiles plus the parallel threshold) for version
+// banners and run listings.
+func TuningSummary() string { return tensor.ActiveTuning().Summary() }
 
 // TitanXP returns the characterization device of Table 4.
 func TitanXP() Device { return gpusim.TitanXP() }

@@ -49,15 +49,19 @@ func TestParseBenchRejectsEmpty(t *testing.T) {
 // with no kernel dimension at all.
 func TestSplitKernels(t *testing.T) {
 	results := map[string]float64{
-		"BenchmarkMatMul/kernel=blocked/n=512-8": 100,
-		"BenchmarkMatMul/kernel=naive/n=512-8":   200,
-		"BenchmarkConv2D/kernel=blocked-8":       300,
-		"BenchmarkShardedSession/shards=2-8":     400,
-		"BenchmarkMatMul/kernel=avx-512/n=64-8":  500, // dash-digits in the kernel name itself
+		"BenchmarkMatMul/kernel=blocked/n=512-8":           100,
+		"BenchmarkMatMul/kernel=naive/n=512-8":             200,
+		"BenchmarkConv2D/kernel=blocked-8":                 300,
+		"BenchmarkShardedSession/shards=2-8":               400,
+		"BenchmarkMatMul/kernel=avx-512/n=64-8":            500, // dash-digits in the kernel name itself
+		"BenchmarkMatMul/kernel=tuned/skinny=64x2048x64-8": 600, // tuned tier's shape-class sub-benchmarks
 	}
 	got := splitKernels(results)
-	if len(got) != 3 {
-		t.Fatalf("split into %d kernels, want 3: %v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("split into %d kernels, want 4: %v", len(got), got)
+	}
+	if len(got["tuned"]) != 1 || got["tuned"]["BenchmarkMatMul/kernel=tuned/skinny=64x2048x64-8"] != 600 {
+		t.Errorf("tuned bucket wrong: %v", got["tuned"])
 	}
 	if len(got["avx-512"]) != 1 || got["avx-512"]["BenchmarkMatMul/kernel=avx-512/n=64-8"] != 500 {
 		t.Errorf("avx-512 bucket wrong (dash-digit kernel name mangled?): %v", got)

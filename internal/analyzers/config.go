@@ -43,6 +43,7 @@ var resultAffectingPackages = map[string]bool{
 	"aibench/internal/dist":         true,
 	"aibench/internal/models":       true,
 	"aibench/internal/telemetry":    true, // trace records are persisted and byte-diffed in CI
+	"aibench/internal/tune":         true, // tuneconfig records are persisted and their entry order is contractual
 	"aibench/cmd/aibench":           true,
 	"aibench/cmd/aibench-report":    true,
 	"aibench/cmd/aibench-benchjson": true,

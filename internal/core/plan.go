@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"aibench/internal/dist"
 	"aibench/internal/gpusim"
 	"aibench/internal/telemetry"
 	"aibench/internal/tensor"
+	"aibench/internal/tune"
 )
 
 // RunKind selects what executing a Plan means: the methodology's four
@@ -78,6 +80,15 @@ type Plan struct {
 	// active one. Validated at build time; applied once at Run start,
 	// and only when it differs from the active kernel.
 	Kernel string
+	// TuneFrom, when set, loads a persisted `tuneconfig` envelope
+	// stream (written by `aibench tune`) and applies this machine's
+	// config to the tuned kernel at Run start. Only meaningful when the
+	// effective kernel is "tuned"; anything else is a build-time error.
+	// Loading and selection are validated eagerly by NewRunner, so a
+	// missing file or missing-architecture config fails before any work
+	// runs. Tuning is a pure scheduling/perf knob: results are bitwise
+	// identical under every config.
+	TuneFrom string
 	// Backend names the dist execution backend sharded training runs
 	// on ("local", "process", ...; empty = local), selected from the
 	// dist.Register registry exactly like kernels are. Backends are
@@ -120,6 +131,11 @@ type RunMeta struct {
 	// Started is the wall-clock start of the run in RFC 3339, stamped
 	// by the caller that opens the stream (empty in library use).
 	Started string `json:"started,omitempty"`
+	// Tuning names the tuned kernel's config provenance — the stream
+	// the config was loaded from, or "builtin" when the run used the
+	// default parameters. Empty for every other kernel, so existing
+	// envelopes are unchanged.
+	Tuning string `json:"tuning,omitempty"`
 }
 
 // RecordKind tags a Record's payload; the envelope's "kind" field.
@@ -136,6 +152,10 @@ const (
 	// emits one of each after its result records.
 	KindTrace      RecordKind = "trace"
 	KindRunMetrics RecordKind = "runmetrics"
+	// KindTuneConfig carries a machine's tuned-kernel configuration (a
+	// tune.Config: the per-shape-class tile winners from an `aibench
+	// tune` sweep), persisted so later runs reload it via Plan.TuneFrom.
+	KindTuneConfig RecordKind = "tuneconfig"
 )
 
 // Record is the typed union every run kind emits through the sink:
@@ -148,6 +168,7 @@ type Record struct {
 	Replay           *ReplaySession
 	Trace            *telemetry.Trace
 	RunMetrics       *telemetry.RunMetrics
+	TuneConfig       *tune.Config
 	// Run identifies the run that produced the record (backend, kernel,
 	// seed, ...). Stamped by RunResult.Records for live runs and by
 	// results.Read from the envelope header for rebuilt streams, so
@@ -183,6 +204,10 @@ func (r Record) Payload() any {
 	case KindRunMetrics:
 		if r.RunMetrics != nil {
 			return r.RunMetrics
+		}
+	case KindTuneConfig:
+		if r.TuneConfig != nil {
+			return r.TuneConfig
 		}
 	}
 	return nil
@@ -246,6 +271,9 @@ type Runner struct {
 	plan Plan
 	reg  *Registry
 	bs   []*Benchmark
+	// tuneCfg is the machine's config selected from Plan.TuneFrom at
+	// build time; nil when the plan loads no tuning.
+	tuneCfg *tune.Config
 }
 
 // NewRunner validates the plan against the registry and returns the
@@ -292,6 +320,27 @@ func NewRunner(reg *Registry, p Plan) (*Runner, error) {
 	if p.Backend != "" && !dist.Known(p.Backend) {
 		return nil, fmt.Errorf("core: Plan.Backend: unknown dist backend %q (have %v)", p.Backend, dist.Names())
 	}
+	var tuneCfg *tune.Config
+	if p.TuneFrom != "" {
+		kernel := p.Kernel
+		if kernel == "" {
+			kernel = tensor.ActiveKernels().Name()
+		}
+		if kernel != "tuned" {
+			return nil, fmt.Errorf("core: Plan.TuneFrom: tuning parameterizes the %q kernel, but the plan runs %q", "tuned", kernel)
+		}
+		cfgs, err := tune.LoadFile(p.TuneFrom)
+		if err != nil {
+			return nil, fmt.Errorf("core: Plan.TuneFrom: %v", err)
+		}
+		tuneCfg, err = tune.Select(cfgs, runtime.GOARCH, runtime.GOMAXPROCS(0))
+		if err != nil {
+			return nil, fmt.Errorf("core: Plan.TuneFrom %s: %v", p.TuneFrom, err)
+		}
+		if _, err := tuneCfg.Tuning(); err != nil {
+			return nil, fmt.Errorf("core: Plan.TuneFrom %s: %v", p.TuneFrom, err)
+		}
+	}
 	if p.Shards < 0 {
 		return nil, fmt.Errorf("core: Plan.Shards: %d < 0", p.Shards)
 	}
@@ -311,7 +360,7 @@ func NewRunner(reg *Registry, p Plan) (*Runner, error) {
 	if p.Device.Name == "" {
 		p.Device = gpusim.TitanXP()
 	}
-	return &Runner{plan: p, reg: reg, bs: bs}, nil
+	return &Runner{plan: p, reg: reg, bs: bs, tuneCfg: tuneCfg}, nil
 }
 
 // Plan returns the validated plan (defaults filled in).
@@ -330,13 +379,23 @@ func (r *Runner) Meta() RunMeta {
 	if kernel == "" {
 		kernel = tensor.ActiveKernels().Name()
 	}
-	return RunMeta{
+	m := RunMeta{
 		SuiteSHA: r.reg.SHA(),
 		Seed:     r.plan.Seed,
 		Kernel:   kernel,
 		Shards:   r.plan.Shards,
 		Backend:  r.plan.Backend,
 	}
+	// Tuned runs record their config provenance; other kernels leave
+	// the field empty so pre-tuning envelopes stay byte-stable.
+	if kernel == "tuned" {
+		if r.plan.TuneFrom != "" {
+			m.Tuning = r.plan.TuneFrom
+		} else {
+			m.Tuning = tensor.TuningSource()
+		}
+	}
+	return m
 }
 
 // Run executes the plan under ctx. Every produced record is delivered
@@ -352,6 +411,11 @@ func (r *Runner) Run(ctx context.Context, sink func(Record) error) (*RunResult, 
 	}
 	if k := r.plan.Kernel; k != "" && k != tensor.ActiveKernels().Name() {
 		if err := tensor.UseKernels(k); err != nil {
+			return nil, err
+		}
+	}
+	if r.tuneCfg != nil {
+		if err := tune.Apply(r.tuneCfg, r.plan.TuneFrom); err != nil {
 			return nil, err
 		}
 	}

@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -185,6 +189,94 @@ func TestRunnerAppliesPlanKernel(t *testing.T) {
 	}
 	if runner.Meta().Kernel != "naive" {
 		t.Fatalf("run meta records kernel %q, want %q", runner.Meta().Kernel, "naive")
+	}
+}
+
+// tuneStream writes a minimal tuneconfig JSONL stream matching this
+// machine's (GOARCH, GOMAXPROCS) key.
+func tuneStream(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	line := fmt.Sprintf(`{"v":1,"kind":"tuneconfig","run":{},"data":{"kernel":"tuned","goarch":%q,"gomaxprocs":%d,"parallel_threshold":65536,"entries":[{"op":"gemm","shape_class":"square","mr":2,"nr":8,"k_unroll":2,"block_m":128,"block_n":128}]}}`,
+		runtime.GOARCH, runtime.GOMAXPROCS(0))
+	if err := os.WriteFile(path, []byte(line+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunnerTuneFrom pins the tune → run round trip: a persisted
+// config loads at build time, applies at Run start, lands in RunMeta as
+// provenance, and the session's numbers are bitwise identical to a
+// naive run — the whole point of tuning being a pure perf knob.
+func TestRunnerTuneFrom(t *testing.T) {
+	reg := NewRegistry()
+	prevKernel := tensor.ActiveKernels().Name()
+	prevTuning, prevSrc := tensor.ActiveTuning(), tensor.TuningSource()
+	defer func() {
+		tensor.UseKernels(prevKernel)
+		tensor.SetTuning(prevTuning, prevSrc)
+	}()
+	path := tuneStream(t)
+
+	// Build-time validation: a non-tuned kernel rejects TuneFrom, a
+	// missing file and a foreign-architecture stream fail eagerly.
+	if _, err := NewRunner(reg, Plan{Kernel: "blocked", TuneFrom: path}); err == nil || !strings.Contains(err.Error(), "tuned") {
+		t.Fatalf("TuneFrom with blocked kernel: err = %v, want kernel mismatch", err)
+	}
+	if _, err := NewRunner(reg, Plan{Kernel: "tuned", TuneFrom: filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
+		t.Fatal("TuneFrom with a missing file built a runner")
+	}
+	foreign := filepath.Join(t.TempDir(), "foreign.jsonl")
+	if err := os.WriteFile(foreign, []byte(`{"v":1,"kind":"tuneconfig","run":{},"data":{"kernel":"tuned","goarch":"no-such-arch","gomaxprocs":1}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(reg, Plan{Kernel: "tuned", TuneFrom: foreign}); err == nil {
+		t.Fatal("TuneFrom selected a foreign-architecture config")
+	}
+
+	runner, err := NewRunner(reg, Plan{
+		Kind: RunSession, Benchmarks: []string{"DC-AI-C15"},
+		Session: QuasiEntireSession, Epochs: 2, Seed: 7,
+		Kernel: "tuned", TuneFrom: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runner.Meta().Tuning; got != path {
+		t.Fatalf("RunMeta.Tuning = %q, want the stream path %q", got, path)
+	}
+	res, err := runner.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.ActiveTuning().Threshold != 65536 || tensor.TuningSource() != path {
+		t.Fatalf("Run did not apply the config: threshold=%d source=%q",
+			tensor.ActiveTuning().Threshold, tensor.TuningSource())
+	}
+
+	naive, err := NewRunner(reg, Plan{
+		Kind: RunSession, Benchmarks: []string{"DC-AI-C15"},
+		Session: QuasiEntireSession, Epochs: 2, Seed: 7, Kernel: "naive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naive.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Meta().Tuning != "" {
+		t.Fatalf("non-tuned RunMeta.Tuning = %q, want empty", naive.Meta().Tuning)
+	}
+	got, ref := res.Sessions[0], want.Sessions[0]
+	if math.Float64bits(got.FinalQuality) != math.Float64bits(ref.FinalQuality) || len(got.Losses) != len(ref.Losses) {
+		t.Fatalf("tuned vs naive session differ: %+v vs %+v", got, ref)
+	}
+	for e := range ref.Losses {
+		if math.Float64bits(got.Losses[e]) != math.Float64bits(ref.Losses[e]) {
+			t.Fatalf("epoch %d loss differs under tuning: %v vs %v", e+1, got.Losses[e], ref.Losses[e])
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"aibench/internal/core"
 	"aibench/internal/telemetry"
+	"aibench/internal/tune"
 )
 
 // Version is the envelope schema version this package writes.
@@ -192,6 +193,10 @@ func decode(env Envelope) (rec core.Record, known bool, err error) {
 		v := new(telemetry.RunMetrics)
 		err = json.Unmarshal(env.Data, v)
 		rec = core.Record{Kind: core.KindRunMetrics, RunMetrics: v}
+	case core.KindTuneConfig:
+		v := new(tune.Config)
+		err = json.Unmarshal(env.Data, v)
+		rec = core.Record{Kind: core.KindTuneConfig, TuneConfig: v}
 	default:
 		return core.Record{}, false, nil
 	}
@@ -283,6 +288,18 @@ func (s *Stream) RunMetrics() []*telemetry.RunMetrics {
 	for _, r := range s.Records {
 		if r.Kind == core.KindRunMetrics && r.RunMetrics != nil {
 			out = append(out, r.RunMetrics)
+		}
+	}
+	return out
+}
+
+// TuneConfigs returns the stream's tuned-kernel configuration records
+// in file order.
+func (s *Stream) TuneConfigs() []*tune.Config {
+	var out []*tune.Config
+	for _, r := range s.Records {
+		if r.Kind == core.KindTuneConfig && r.TuneConfig != nil {
+			out = append(out, r.TuneConfig)
 		}
 	}
 	return out

@@ -20,8 +20,14 @@ func (p Conv2DParams) OutDim(in int) int {
 
 // Im2Col unfolds an NCHW input into a matrix of shape
 // (N*outH*outW) × (C*K*K) so convolution becomes a GEMM. Out-of-bounds
-// (padded) taps read as zero.
+// (padded) taps read as zero. The active kernel's parallel threshold is
+// resolved once here; kernel code that already holds a threshold calls
+// im2col directly.
 func Im2Col(x *Tensor, p Conv2DParams) *Tensor {
+	return im2col(x, p, ActiveKernels().ParallelThreshold())
+}
+
+func im2col(x *Tensor, p Conv2DParams, threshold int) *Tensor {
 	if len(x.shape) != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col requires NCHW input, got %v", x.shape))
 	}
@@ -34,7 +40,7 @@ func Im2Col(x *Tensor, p Conv2DParams) *Tensor {
 	cols := New(n*oh*ow, c*k*k)
 	// Each output row unfolds one (img, oy, ox) receptive field into its
 	// own slice of cols, so rows parallelize with no shared writes.
-	parRows(n*oh*ow, n*oh*ow*c*k*k, func(row int) {
+	parGate(threshold, n*oh*ow, n*oh*ow*c*k*k, func(row int) {
 		img := row / (oh * ow)
 		oy := row / ow % oh
 		ox := row % ow
@@ -116,11 +122,12 @@ func Conv2D(x, weight *Tensor, p Conv2DParams) *Tensor {
 
 // matToNCHW rearranges a (n*oh*ow) × c matrix whose rows run
 // (img,oy,ox) into an NCHW tensor. Every (img,pix) row writes a
-// disjoint column of the output, so rows parallelize cleanly.
-func matToNCHW(prod *Tensor, n, c, oh, ow int) *Tensor {
+// disjoint column of the output, so rows parallelize cleanly behind
+// the caller's already-resolved parallel threshold.
+func matToNCHW(prod *Tensor, n, c, oh, ow int, threshold int) *Tensor {
 	out := New(n, c, oh, ow)
 	plane := oh * ow
-	parRows(n*plane, n*plane*c, func(r int) {
+	parGate(threshold, n*plane, n*plane*c, func(r int) {
 		img, pix := r/plane, r%plane
 		src := prod.Data[r*c : (r+1)*c]
 		for ch := 0; ch < c; ch++ {
@@ -133,15 +140,17 @@ func matToNCHW(prod *Tensor, n, c, oh, ow int) *Tensor {
 // NCHWToMat is the inverse rearrangement: an NCHW tensor becomes a
 // (n*oh*ow) × c matrix with rows running (img,oy,ox). Convolution
 // backward passes use it to turn the output gradient back into GEMM
-// layout; it routes through the same parallel gate as the kernels.
+// layout; it routes through the same parallel gate as the kernels,
+// resolving the active kernel's threshold once per call.
 func NCHWToMat(g *Tensor) *Tensor {
 	if len(g.shape) != 4 {
 		panic(fmt.Sprintf("tensor: NCHWToMat requires NCHW input, got %v", g.shape))
 	}
+	threshold := ActiveKernels().ParallelThreshold()
 	n, c, oh, ow := g.shape[0], g.shape[1], g.shape[2], g.shape[3]
 	plane := oh * ow
 	out := New(n*plane, c)
-	parRows(n*plane, n*plane*c, func(r int) {
+	parGate(threshold, n*plane, n*plane*c, func(r int) {
 		img, pix := r/plane, r%plane
 		dst := out.Data[r*c : (r+1)*c]
 		for ch := 0; ch < c; ch++ {

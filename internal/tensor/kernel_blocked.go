@@ -45,49 +45,50 @@ func (blockedKernels) Name() string { return "blocked" }
 // a property of the pool, not the inner loop.
 func (blockedKernels) ParallelThreshold() int { return 1 << 17 }
 
-// packA copies the logical m×K left operand into mr-row panels laid
-// out k-major — panel p holds rows [p·mr, p·mr+mr) interleaved as
-// dst[(p·K+k)·mr+r] — so the micro-kernel reads mr operands from one
+// packA copies the logical m×K left operand into pmr-row panels laid
+// out k-major — panel p holds rows [p·pmr, p·pmr+pmr) interleaved as
+// dst[(p·K+k)·pmr+r] — so the micro-kernel reads pmr operands from one
 // cache line per k step. Rows past m stay zero (padding contributes
 // +0/−0 products, which never change a finite accumulator).
-// load(r, k) fetches logical element A[r][k].
-func packA(m, K int, threshold int, load func(r, k int) float64) []float64 {
-	panels := (m + mr - 1) / mr
-	dst := make([]float64, panels*K*mr)
+// pmr is the panel height (the blocked kernel passes the fixed mr; the
+// tuned kernel its per-shape MR). load(r, k) fetches logical A[r][k].
+func packA(m, K, pmr int, threshold int, load func(r, k int) float64) []float64 {
+	panels := (m + pmr - 1) / pmr
+	dst := make([]float64, panels*K*pmr)
 	parGate(threshold, panels, m*K, func(p int) {
-		base := p * K * mr
-		for r := 0; r < mr; r++ {
-			row := p*mr + r
+		base := p * K * pmr
+		for r := 0; r < pmr; r++ {
+			row := p*pmr + r
 			if row >= m {
 				break
 			}
 			di := base + r
 			for k := 0; k < K; k++ {
 				dst[di] = load(row, k)
-				di += mr
+				di += pmr
 			}
 		}
 	})
 	return dst
 }
 
-// packB copies the logical K×n right operand into nr-column panels
-// laid out k-major: dst[(q·K+k)·nr+c] = B[k][q·nr+c]. Columns past n
-// stay zero. load(k, c) fetches logical element B[k][c].
-func packB(n, K int, threshold int, load func(k, c int) float64) []float64 {
-	panels := (n + nr - 1) / nr
-	dst := make([]float64, panels*K*nr)
+// packB copies the logical K×n right operand into pnr-column panels
+// laid out k-major: dst[(q·K+k)·pnr+c] = B[k][q·pnr+c]. Columns past n
+// stay zero. pnr is the panel width. load(k, c) fetches logical B[k][c].
+func packB(n, K, pnr int, threshold int, load func(k, c int) float64) []float64 {
+	panels := (n + pnr - 1) / pnr
+	dst := make([]float64, panels*K*pnr)
 	parGate(threshold, panels, n*K, func(q int) {
-		base := q * K * nr
-		for c := 0; c < nr; c++ {
-			col := q*nr + c
+		base := q * K * pnr
+		for c := 0; c < pnr; c++ {
+			col := q*pnr + c
 			if col >= n {
 				break
 			}
 			di := base + c
 			for k := 0; k < K; k++ {
 				dst[di] = load(k, col)
-				di += nr
+				di += pnr
 			}
 		}
 	})
@@ -229,8 +230,8 @@ func (bk blockedKernels) MatMul(a, b *Tensor) *Tensor {
 	n := b.shape[1]
 	t := bk.ParallelThreshold()
 	ad, bd := a.Data, b.Data
-	apack := packA(m, K, t, func(r, k int) float64 { return ad[r*K+k] })
-	bpack := packB(n, K, t, func(k, c int) float64 { return bd[k*n+c] })
+	apack := packA(m, K, mr, t, func(r, k int) float64 { return ad[r*K+k] })
+	bpack := packB(n, K, nr, t, func(k, c int) float64 { return bd[k*n+c] })
 	return blockedGemm(apack, bpack, m, n, K, t)
 }
 
@@ -239,8 +240,8 @@ func (bk blockedKernels) MatMulT(a, b *Tensor) *Tensor {
 	n := b.shape[0] // b is n×K; logical B = bᵀ (K×n)
 	t := bk.ParallelThreshold()
 	ad, bd := a.Data, b.Data
-	apack := packA(m, K, t, func(r, k int) float64 { return ad[r*K+k] })
-	bpack := packB(n, K, t, func(k, c int) float64 { return bd[c*K+k] })
+	apack := packA(m, K, mr, t, func(r, k int) float64 { return ad[r*K+k] })
+	bpack := packB(n, K, nr, t, func(k, c int) float64 { return bd[c*K+k] })
 	return blockedGemm(apack, bpack, m, n, K, t)
 }
 
@@ -249,8 +250,8 @@ func (bk blockedKernels) TMatMul(a, b *Tensor) *Tensor {
 	n := b.shape[1]
 	t := bk.ParallelThreshold()
 	ad, bd := a.Data, b.Data
-	apack := packA(m, K, t, func(r, k int) float64 { return ad[k*m+r] })
-	bpack := packB(n, K, t, func(k, c int) float64 { return bd[k*n+c] })
+	apack := packA(m, K, mr, t, func(r, k int) float64 { return ad[k*m+r] })
+	bpack := packB(n, K, nr, t, func(k, c int) float64 { return bd[k*n+c] })
 	return blockedGemm(apack, bpack, m, n, K, t)
 }
 
@@ -283,7 +284,7 @@ func (bk blockedKernels) Conv2D(x, weight *Tensor, p Conv2DParams) *Tensor {
 	plane := oh * ow
 	t := bk.ParallelThreshold()
 	wd := weight.Data // outC×K row-major; logical B = wmatᵀ (K×outC)
-	wpack := packB(outC, K, t, func(k, oc int) float64 { return wd[oc*K+k] })
+	wpack := packB(outC, K, nr, t, func(k, oc int) float64 { return wd[oc*K+k] })
 
 	out := New(n, outC, oh, ow)
 	chunks := (rows + convRowChunk - 1) / convRowChunk

@@ -90,13 +90,16 @@ func (nk naiveKernels) Outer(a, b *Tensor) *Tensor {
 
 // Conv2D is im2col followed by GEMM, mirroring how cuDNN's
 // implicit-GEMM kernels work. It materializes the full column matrix;
-// the blocked kernel's chunked variant avoids that.
+// the blocked kernel's chunked variant avoids that. The parallel
+// threshold is resolved once and handed to all three stages rather
+// than re-resolved per parGate entry.
 func (nk naiveKernels) Conv2D(x, weight *Tensor, p Conv2DParams) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	outC := weight.shape[0]
 	oh, ow := p.OutDim(h), p.OutDim(w)
-	cols := Im2Col(x, p)                              // (n*oh*ow) × (c*k*k)
+	t := nk.ParallelThreshold()
+	cols := im2col(x, p, t)                           // (n*oh*ow) × (c*k*k)
 	wmat := weight.Reshape(outC, c*p.Kernel*p.Kernel) // outC × (c*k*k)
 	prod := nk.MatMulT(cols, wmat)                    // (n*oh*ow) × outC
-	return matToNCHW(prod, n, outC, oh, ow)
+	return matToNCHW(prod, n, outC, oh, ow, t)
 }

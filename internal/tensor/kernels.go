@@ -19,10 +19,13 @@ import (
 // so every output element's accumulation order must be fixed by the
 // operand shapes alone.
 //
-// Two kernels are registered by default: "naive" (the original
-// row-parallel loops, kept as the reference oracle) and "blocked" (the
+// Three kernels are registered by default: "naive" (the original
+// row-parallel loops, kept as the reference oracle), "blocked" (the
 // default — cache-blocked, panel-packed GEMM with a register
-// micro-kernel and a 2-D row×column-block work decomposition).
+// micro-kernel and a 2-D row×column-block work decomposition), and
+// "tuned" (the same GEBP engine with tile geometry, micro-kernel
+// shape, k-unroll, and parallel threshold read from the active Tuning
+// — see SetTuning and internal/tune).
 type Kernels interface {
 	// Name is the registry key ("naive", "blocked", ...).
 	Name() string
@@ -113,6 +116,7 @@ func ActiveKernels() Kernels {
 func init() {
 	RegisterKernels(naiveKernels{})
 	RegisterKernels(blockedKernels{})
+	RegisterKernels(tunedKernels{})
 	name := DefaultKernel
 	if v := os.Getenv(EnvKernel); v != "" {
 		name = v
@@ -168,9 +172,8 @@ func gatedOuter(threshold int, a, b *Tensor) *Tensor {
 	return out
 }
 
-// parRows splits a row loop using the active kernel's parallel
-// threshold. Shared helpers that are not themselves kernel methods
-// (Im2Col, the NCHW↔matrix rearrangers) gate through this.
-func parRows(rows int, flops int, fn func(i int)) {
-	parGate(ActiveKernels().ParallelThreshold(), rows, flops, fn)
-}
+// Shared helpers that are not themselves kernel methods (im2col, the
+// NCHW↔matrix rearrangers) take an explicit threshold: their exported
+// wrappers resolve ActiveKernels().ParallelThreshold() exactly once
+// per op call, and kernel code passes its own already-resolved value,
+// so hot paths never re-resolve the registry per parGate entry.

@@ -21,6 +21,27 @@ func kernelPair(t *testing.T) (naive, blocked Kernels) {
 	return n, b
 }
 
+// optimizedKernels returns every registered kernel except the naive
+// oracle, so equivalence sweeps automatically cover new tiers.
+func optimizedKernels(t *testing.T) []Kernels {
+	t.Helper()
+	var out []Kernels
+	for _, name := range KernelNames() {
+		if name == "naive" {
+			continue
+		}
+		k, ok := LookupKernels(name)
+		if !ok {
+			t.Fatalf("%s kernel not registered", name)
+		}
+		out = append(out, k)
+	}
+	if len(out) < 2 {
+		t.Fatalf("want at least blocked+tuned, have %d optimized kernels", len(out))
+	}
+	return out
+}
+
 func TestKernelRegistryAndSelection(t *testing.T) {
 	names := KernelNames()
 	if len(names) < 2 || names[0] != "blocked" || names[1] != "naive" {
@@ -56,13 +77,14 @@ func maxAbsDiff(a, b *Tensor) float64 {
 	return worst
 }
 
-// TestCrossKernelEquivalence runs every dispatchable op under both
-// kernels across odd and prime shapes — degenerate 1×1, panel-edge
-// cases where m/n are not multiples of the micro-tile, and sizes big
-// enough to cross the parallel threshold — and demands agreement
+// TestCrossKernelEquivalence runs every dispatchable op under every
+// optimized kernel (blocked, tuned, future tiers) across odd and prime
+// shapes — degenerate 1×1, panel-edge cases where m/n are not
+// multiples of the micro-tile, and sizes big enough to cross the
+// parallel threshold — and demands agreement with the naive oracle
 // within 1e-9.
 func TestCrossKernelEquivalence(t *testing.T) {
-	naive, blocked := kernelPair(t)
+	naive, _ := kernelPair(t)
 	rng := rand.New(rand.NewSource(99))
 	for _, dims := range [][3]int{
 		{1, 1, 1}, {3, 129, 63}, {255, 257, 63}, {64, 64, 64},
@@ -76,23 +98,25 @@ func TestCrossKernelEquivalence(t *testing.T) {
 		v := Randn(rng, 0, 1, k)
 		u := Randn(rng, 0, 1, m)
 		w := Randn(rng, 0, 1, n)
-		cases := []struct {
-			op   string
-			got  *Tensor
-			want *Tensor
-		}{
-			{"MatMul", blocked.MatMul(a, b), naive.MatMul(a, b)},
-			{"MatMulT", blocked.MatMulT(a, bt), naive.MatMulT(a, bt)},
-			{"TMatMul", blocked.TMatMul(at, b), naive.TMatMul(at, b)},
-			{"MatVec", blocked.MatVec(a, v), naive.MatVec(a, v)},
-			{"Outer", blocked.Outer(u, w), naive.Outer(u, w)},
-		}
-		for _, c := range cases {
-			if !c.got.SameShape(c.want) {
-				t.Fatalf("%s %v: shape %v vs %v", c.op, dims, c.got.Shape(), c.want.Shape())
+		for _, kern := range optimizedKernels(t) {
+			cases := []struct {
+				op   string
+				got  *Tensor
+				want *Tensor
+			}{
+				{"MatMul", kern.MatMul(a, b), naive.MatMul(a, b)},
+				{"MatMulT", kern.MatMulT(a, bt), naive.MatMulT(a, bt)},
+				{"TMatMul", kern.TMatMul(at, b), naive.TMatMul(at, b)},
+				{"MatVec", kern.MatVec(a, v), naive.MatVec(a, v)},
+				{"Outer", kern.Outer(u, w), naive.Outer(u, w)},
 			}
-			if d := maxAbsDiff(c.got, c.want); d > 1e-9 {
-				t.Fatalf("%s %v: blocked vs naive differ by %g", c.op, dims, d)
+			for _, c := range cases {
+				if !c.got.SameShape(c.want) {
+					t.Fatalf("%s %s %v: shape %v vs %v", kern.Name(), c.op, dims, c.got.Shape(), c.want.Shape())
+				}
+				if d := maxAbsDiff(c.got, c.want); d > 1e-9 {
+					t.Fatalf("%s %s %v: differs from naive by %g", kern.Name(), c.op, dims, d)
+				}
 			}
 		}
 	}
@@ -121,10 +145,12 @@ func TestBlockedGemmDeterministic(t *testing.T) {
 
 // TestConv2DKernelShapeSweep fuzzes convolution geometries (odd
 // spatial sizes, stride/padding combinations, chunk-edge pixel counts)
-// and checks the blocked chunked-im2col path against the naive kernel,
-// spot-checking against the direct-convolution reference as well.
+// and checks every optimized kernel's chunked-im2col path against the
+// naive kernel, spot-checking against the direct-convolution reference
+// as well.
 func TestConv2DKernelShapeSweep(t *testing.T) {
-	naive, blocked := kernelPair(t)
+	naive, _ := kernelPair(t)
+	kernels := optimizedKernels(t)
 	rng := rand.New(rand.NewSource(23))
 	ran := 0
 	for ran < 40 {
@@ -141,19 +167,21 @@ func TestConv2DKernelShapeSweep(t *testing.T) {
 		ran++
 		x := Randn(rng, 0, 1, n, c, h, w)
 		wgt := Randn(rng, 0, 1, outC, c, kern, kern)
-		got := blocked.Conv2D(x, wgt, p)
 		want := naive.Conv2D(x, wgt, p)
 		name := fmt.Sprintf("n=%d c=%d h=%d w=%d outC=%d %+v", n, c, h, w, outC, p)
-		if !got.SameShape(want) {
-			t.Fatalf("Conv2D %s: shape %v vs %v", name, got.Shape(), want.Shape())
-		}
-		if d := maxAbsDiff(got, want); d > 1e-9 {
-			t.Fatalf("Conv2D %s: blocked vs naive differ by %g", name, d)
-		}
-		if ran%8 == 0 {
-			ref := refConv2D(x, wgt, p)
-			if d := maxAbsDiff(got, ref); d > 1e-9 {
-				t.Fatalf("Conv2D %s: blocked vs direct reference differ by %g", name, d)
+		for _, k := range kernels {
+			got := k.Conv2D(x, wgt, p)
+			if !got.SameShape(want) {
+				t.Fatalf("Conv2D %s %s: shape %v vs %v", k.Name(), name, got.Shape(), want.Shape())
+			}
+			if d := maxAbsDiff(got, want); d > 1e-9 {
+				t.Fatalf("Conv2D %s %s: differs from naive by %g", k.Name(), name, d)
+			}
+			if ran%8 == 0 {
+				ref := refConv2D(x, wgt, p)
+				if d := maxAbsDiff(got, ref); d > 1e-9 {
+					t.Fatalf("Conv2D %s %s: differs from direct reference by %g", k.Name(), name, d)
+				}
 			}
 		}
 	}
@@ -183,6 +211,6 @@ func TestConv2DBlockedChunkEdges(t *testing.T) {
 func TestNCHWToMatRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	x := Randn(rng, 0, 1, 3, 5, 4, 7)
-	back := matToNCHW(NCHWToMat(x), 3, 5, 4, 7)
+	back := matToNCHW(NCHWToMat(x), 3, 5, 4, 7, ActiveKernels().ParallelThreshold())
 	bitwiseEqual(t, "matToNCHW(NCHWToMat(x))", back, x)
 }

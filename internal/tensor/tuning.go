@@ -1,0 +1,206 @@
+package tensor
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The tuned kernel's configuration surface. The blocked kernel bakes
+// its tile geometry in at compile time (64×64 blocks, a 2×4 register
+// micro-kernel, ×4 k-unroll); the tuned kernel takes the same GEBP
+// engine and turns every one of those constants into a runtime
+// parameter so a per-machine sweep (internal/tune) can pick the
+// fastest combination per GEMM shape class. Crucially none of these
+// parameters can change results: every output element accumulates its
+// k terms ascending into a single accumulator under every
+// configuration, so the tuned kernel stays bitwise-equal to naive and
+// blocked no matter which config is active.
+
+// TileConfig parameterizes one instantiation of the tuned GEBP engine.
+type TileConfig struct {
+	// MR×NR is the register micro-tile: MR rows of A and NR columns of
+	// B held in scalar registers while streaming the shared k
+	// dimension. Only shapes with a registered straight-line
+	// micro-kernel are valid; see MicroMenu.
+	MR int `json:"mr"`
+	NR int `json:"nr"`
+	// KUnroll is the micro-kernel's k-loop unroll depth. Unrolling
+	// widens the loop body (amortizing loop control and bounds checks)
+	// without reordering any addition: each accumulator still receives
+	// exactly one product per k step in ascending k order.
+	KUnroll int `json:"k_unroll"`
+	// BlockM×BlockN is the output tile one parallel task owns. Both
+	// must be multiples of MR/NR respectively so tile origins land on
+	// panel boundaries.
+	BlockM int `json:"block_m"`
+	BlockN int `json:"block_n"`
+}
+
+// String renders the config compactly: "2x4u4@64x64".
+func (c TileConfig) String() string {
+	return fmt.Sprintf("%dx%du%d@%dx%d", c.MR, c.NR, c.KUnroll, c.BlockM, c.BlockN)
+}
+
+// Validate reports why the config cannot drive the tuned engine; nil
+// means it can.
+func (c TileConfig) Validate() error {
+	if microFor(c) == nil {
+		return fmt.Errorf("tensor: no %dx%d micro-kernel with k-unroll %d (menu: %v)", c.MR, c.NR, c.KUnroll, MicroMenu())
+	}
+	if c.BlockM < c.MR || c.BlockM%c.MR != 0 {
+		return fmt.Errorf("tensor: BlockM %d must be a positive multiple of MR %d", c.BlockM, c.MR)
+	}
+	if c.BlockN < c.NR || c.BlockN%c.NR != 0 {
+		return fmt.Errorf("tensor: BlockN %d must be a positive multiple of NR %d", c.BlockN, c.NR)
+	}
+	return nil
+}
+
+// MicroMenu lists the register shapes with a registered straight-line
+// micro-kernel, as TileConfigs with MR/NR/KUnroll set and zero blocks.
+// The tuning sweep crosses this menu with a block-size menu; anything
+// outside it is rejected by Validate.
+func MicroMenu() []TileConfig {
+	return []TileConfig{
+		{MR: 2, NR: 4, KUnroll: 1},
+		{MR: 2, NR: 4, KUnroll: 4},
+		{MR: 4, NR: 4, KUnroll: 1},
+		{MR: 4, NR: 4, KUnroll: 2},
+		{MR: 2, NR: 8, KUnroll: 1},
+		{MR: 2, NR: 8, KUnroll: 2},
+	}
+}
+
+// GEMM shape classes. A (m×k)·(k×n) product is bucketed by which
+// dimension dominates, because the best tile geometry differs: a
+// square product wants big cache blocks, a skinny product (huge inner
+// k, small output) wants panel reuse across few tiles, and a fat
+// product (big output, shallow k) amortizes packing over many tiles.
+const (
+	// ShapeSquare: no dimension dominates (aspect ratios within 4×).
+	ShapeSquare = "square"
+	// ShapeSkinny: the inner dimension dominates (k ≥ 4·max(m,n)),
+	// e.g. 64×2048×64 — skinny operands, small output.
+	ShapeSkinny = "skinny"
+	// ShapeFat: the output dominates (max(m,n) ≥ 4·k), e.g.
+	// 2048×64×2048 — a fat output computed from a shallow k.
+	ShapeFat = "fat"
+	// ShapeConv: the im2col GEMM inside Conv2D (rows = output pixels,
+	// k = c·k·k taps), tuned as its own class.
+	ShapeConv = "conv"
+)
+
+// GEMMShapeClass buckets a (m×k)·(k×n) product into the tuning shape
+// class the tuned kernel will look up. Pure function of the shape, so
+// config selection is deterministic per call site.
+func GEMMShapeClass(m, k, n int) string {
+	long := max(m, n)
+	switch {
+	case k >= 4*long:
+		return ShapeSkinny
+	case long >= 4*k:
+		return ShapeFat
+	default:
+		return ShapeSquare
+	}
+}
+
+// Tuning is the tuned kernel's complete parameter set: one TileConfig
+// per shape class plus the shared parallel threshold.
+type Tuning struct {
+	// Threshold is the multiply-add count above which the tuned
+	// kernel's loops (and the shared im2col/rearrange helpers, while
+	// the tuned kernel is active) fork across cores.
+	Threshold int `json:"parallel_threshold"`
+	// Square, Skinny, and Fat drive MatMul/MatMulT/TMatMul by
+	// GEMMShapeClass; Conv drives the chunked im2col GEMM in Conv2D.
+	Square TileConfig `json:"square"`
+	Skinny TileConfig `json:"skinny"`
+	Fat    TileConfig `json:"fat"`
+	Conv   TileConfig `json:"conv"`
+}
+
+// DefaultTuning is the built-in configuration used when no persisted
+// tuneconfig has been applied: the blocked kernel's proven constants
+// for every class, so an untuned `tuned` run is never worse than
+// blocked by construction.
+func DefaultTuning() Tuning {
+	std := TileConfig{MR: 2, NR: 4, KUnroll: 4, BlockM: 64, BlockN: 64}
+	return Tuning{Threshold: 1 << 17, Square: std, Skinny: std, Fat: std, Conv: std}
+}
+
+// Validate reports why the tuning cannot be activated; nil means it can.
+func (t Tuning) Validate() error {
+	if t.Threshold <= 0 {
+		return fmt.Errorf("tensor: tuning parallel threshold %d must be positive", t.Threshold)
+	}
+	for _, c := range []struct {
+		class string
+		cfg   TileConfig
+	}{
+		{ShapeSquare, t.Square}, {ShapeSkinny, t.Skinny}, {ShapeFat, t.Fat}, {ShapeConv, t.Conv},
+	} {
+		if err := c.cfg.Validate(); err != nil {
+			return fmt.Errorf("%s class: %v", c.class, err)
+		}
+	}
+	return nil
+}
+
+// gemmFor selects the TileConfig the tuned kernel uses for a GEMM of
+// the given shape.
+func (t *Tuning) gemmFor(m, k, n int) TileConfig {
+	switch GEMMShapeClass(m, k, n) {
+	case ShapeSkinny:
+		return t.Skinny
+	case ShapeFat:
+		return t.Fat
+	}
+	return t.Square
+}
+
+// Summary renders the tuning as one line for `aibench version` and run
+// listings.
+func (t Tuning) Summary() string {
+	return fmt.Sprintf("gemm[square]=%s gemm[skinny]=%s gemm[fat]=%s conv=%s parallel-threshold=%d",
+		t.Square, t.Skinny, t.Fat, t.Conv, t.Threshold)
+}
+
+// BuiltinTuningSource is TuningSource's value until a persisted
+// configuration is applied.
+const BuiltinTuningSource = "builtin"
+
+// tuningState pairs the active tuning with a label naming where it
+// came from (a tuneconfig stream path, "builtin", ...).
+type tuningState struct {
+	tuning Tuning
+	source string
+}
+
+var activeTuningState atomic.Pointer[tuningState]
+
+func init() {
+	activeTuningState.Store(&tuningState{tuning: DefaultTuning(), source: BuiltinTuningSource})
+}
+
+// SetTuning activates a validated tuning for the tuned kernel,
+// recording source as its provenance (persisted into RunMeta for tuned
+// runs). Like UseKernels it is process-global: apply it at startup or
+// between runs, not mid-op.
+func SetTuning(t Tuning, source string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if source == "" {
+		source = BuiltinTuningSource
+	}
+	activeTuningState.Store(&tuningState{tuning: t, source: source})
+	return nil
+}
+
+// ActiveTuning returns the tuned kernel's current parameter set.
+func ActiveTuning() Tuning { return activeTuningState.Load().tuning }
+
+// TuningSource names where the active tuning came from ("builtin"
+// until a persisted configuration is applied).
+func TuningSource() string { return activeTuningState.Load().source }

@@ -1,0 +1,205 @@
+package tune
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"aibench/internal/tensor"
+)
+
+// TestSearchQuickProducesApplicableConfig runs the real (quick) sweep
+// and checks its output end to end: one entry per class, every entry on
+// the candidate menu, and the whole config convertible + activatable.
+func TestSearchQuickProducesApplicableConfig(t *testing.T) {
+	cfg := Search(Options{Quick: true})
+	if cfg.Kernel != "tuned" || cfg.GOARCH != runtime.GOARCH || cfg.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("machine key wrong: %+v", cfg)
+	}
+	wantClasses := map[[2]string]bool{
+		{OpGEMM, tensor.ShapeSquare}: true,
+		{OpGEMM, tensor.ShapeSkinny}: true,
+		{OpGEMM, tensor.ShapeFat}:    true,
+		{OpConv2D, tensor.ShapeConv}: true,
+	}
+	if len(cfg.Entries) != len(wantClasses) {
+		t.Fatalf("got %d entries, want %d: %+v", len(cfg.Entries), len(wantClasses), cfg.Entries)
+	}
+	menu := candidateMenu()
+	for _, e := range cfg.Entries {
+		if !wantClasses[[2]string{e.Op, e.ShapeClass}] {
+			t.Errorf("unexpected or duplicate entry %s/%s", e.Op, e.ShapeClass)
+		}
+		delete(wantClasses, [2]string{e.Op, e.ShapeClass})
+		onMenu := false
+		for _, c := range menu {
+			onMenu = onMenu || c == e.TileConfig()
+		}
+		if !onMenu {
+			t.Errorf("%s/%s winner %v is off the candidate menu", e.Op, e.ShapeClass, e.TileConfig())
+		}
+		if e.GFLOPS <= 0 {
+			t.Errorf("%s/%s reports non-positive GFLOPS %v", e.Op, e.ShapeClass, e.GFLOPS)
+		}
+	}
+	onThresholdMenu := false
+	for _, th := range thresholdMenu() {
+		onThresholdMenu = onThresholdMenu || th == cfg.Threshold
+	}
+	if !onThresholdMenu {
+		t.Errorf("threshold %d is off the menu %v", cfg.Threshold, thresholdMenu())
+	}
+	tuning, err := cfg.Tuning()
+	if err != nil {
+		t.Fatalf("Tuning(): %v", err)
+	}
+	if err := tuning.Validate(); err != nil {
+		t.Fatalf("searched tuning invalid: %v", err)
+	}
+}
+
+func TestConfigTuningRejectsForeignKernelAndBadEntries(t *testing.T) {
+	c := &Config{Kernel: "blocked"}
+	if _, err := c.Tuning(); err == nil {
+		t.Fatal("Tuning() accepted a non-tuned kernel config")
+	}
+	c = &Config{Kernel: "tuned", Entries: []Entry{
+		{Op: OpGEMM, ShapeClass: tensor.ShapeSquare, MR: 3, NR: 5, KUnroll: 9, BlockM: 64, BlockN: 64},
+	}}
+	if _, err := c.Tuning(); err == nil {
+		t.Fatal("Tuning() accepted an off-menu recognized entry")
+	}
+}
+
+// TestConfigTuningSkipsUnknownClasses pins forward compatibility: a
+// config written by a newer suite with extra (op, shape_class) pairs
+// still applies, with unknown entries ignored and known ones honored.
+func TestConfigTuningSkipsUnknownClasses(t *testing.T) {
+	c := &Config{Kernel: "tuned", Threshold: 1 << 16, Entries: []Entry{
+		{Op: "fft", ShapeClass: "radix2", MR: -1, NR: -1, KUnroll: 0, BlockM: 0, BlockN: 0},
+		{Op: OpGEMM, ShapeClass: "banded", MR: 99, NR: 99, KUnroll: 99, BlockM: 1, BlockN: 1},
+		{Op: OpGEMM, ShapeClass: tensor.ShapeFat, MR: 2, NR: 8, KUnroll: 2, BlockM: 128, BlockN: 64},
+	}}
+	tuning, err := c.Tuning()
+	if err != nil {
+		t.Fatalf("Tuning(): %v", err)
+	}
+	if tuning.Threshold != 1<<16 {
+		t.Errorf("threshold not applied: %d", tuning.Threshold)
+	}
+	if want := (tensor.TileConfig{MR: 2, NR: 8, KUnroll: 2, BlockM: 128, BlockN: 64}); tuning.Fat != want {
+		t.Errorf("fat class = %v, want %v", tuning.Fat, want)
+	}
+	if tuning.Square != tensor.DefaultTuning().Square {
+		t.Errorf("uncovered class drifted from the builtin default: %v", tuning.Square)
+	}
+}
+
+// envLine builds one tuneconfig JSONL envelope line by hand (the
+// results package writes real streams; tune cannot import it).
+func envLine(goarch string, gomaxprocs int) string {
+	return fmt.Sprintf(`{"v":1,"kind":"tuneconfig","run":{"suite_sha":"t"},"data":{"kernel":"tuned","goarch":%q,"gomaxprocs":%d,"parallel_threshold":32768,"entries":[{"op":"gemm","shape_class":"square","mr":2,"nr":8,"k_unroll":2,"block_m":128,"block_n":128,"gflops":5.5}]}}`,
+		goarch, gomaxprocs)
+}
+
+func writeStream(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFileSkipsForeignLinesAndErrorsOnEmpty(t *testing.T) {
+	path := writeStream(t,
+		`{"v":1,"kind":"session","run":{},"data":{"id":"DC-AI-C1"}}`, // other kind: skipped
+		"not json at all",                       // foreign garbage: skipped
+		`{"v":7,"kind":"tuneconfig","data":{}}`, // future version: skipped
+		envLine("amd64", 4),
+		envLine("arm64", 8),
+	)
+	cfgs, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 || cfgs[0].GOARCH != "amd64" || cfgs[1].GOARCH != "arm64" {
+		t.Fatalf("loaded %+v, want the amd64 then arm64 configs", cfgs)
+	}
+	if cfgs[0].Entries[0].TileConfig() != (tensor.TileConfig{MR: 2, NR: 8, KUnroll: 2, BlockM: 128, BlockN: 128}) {
+		t.Fatalf("entry decoded wrong: %+v", cfgs[0].Entries[0])
+	}
+
+	empty := writeStream(t, `{"v":1,"kind":"session","run":{},"data":{"id":"x"}}`)
+	if _, err := LoadFile(empty); err == nil {
+		t.Fatal("LoadFile found no tuneconfig yet returned nil error")
+	}
+
+	bad := writeStream(t, `{"v":1,"kind":"tuneconfig","run":{},"data":"not an object"}`)
+	if _, err := LoadFile(bad); err == nil || !strings.Contains(err.Error(), ":1:") {
+		t.Fatalf("malformed payload error should name the line, got %v", err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	cfgs := []*Config{
+		{Kernel: "tuned", GOARCH: "amd64", GOMAXPROCS: 8},
+		{Kernel: "tuned", GOARCH: "amd64", GOMAXPROCS: 4},
+		{Kernel: "tuned", GOARCH: "arm64", GOMAXPROCS: 8},
+		{Kernel: "tuned", GOARCH: "amd64", GOMAXPROCS: 8, Threshold: 99},
+	}
+	got, err := Select(cfgs, "amd64", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != 99 {
+		t.Fatalf("exact match should pick the LAST amd64/8 config, got %+v", got)
+	}
+	got, err = Select(cfgs, "amd64", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfgs[3] {
+		t.Fatalf("no exact gomaxprocs: want last same-arch fallback, got %+v", got)
+	}
+	if _, err := Select(cfgs, "riscv64", 8); err == nil {
+		t.Fatal("Select invented a config for an absent architecture")
+	}
+}
+
+// TestApplyRoundTrip persists a hand-built stream, loads + selects +
+// applies it, and checks the tensor layer reflects it with the path as
+// provenance — the `tune` → `run -tune-from` contract.
+func TestApplyRoundTrip(t *testing.T) {
+	prev, prevSrc := tensor.ActiveTuning(), tensor.TuningSource()
+	defer func() {
+		if err := tensor.SetTuning(prev, prevSrc); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	path := writeStream(t, envLine(runtime.GOARCH, runtime.GOMAXPROCS(0)))
+	cfgs, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Select(cfgs, runtime.GOARCH, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	active := tensor.ActiveTuning()
+	if active.Threshold != 32768 {
+		t.Errorf("threshold not active: %d", active.Threshold)
+	}
+	if want := (tensor.TileConfig{MR: 2, NR: 8, KUnroll: 2, BlockM: 128, BlockN: 128}); active.Square != want {
+		t.Errorf("square class = %v, want %v", active.Square, want)
+	}
+	if tensor.TuningSource() != path {
+		t.Errorf("provenance = %q, want the stream path", tensor.TuningSource())
+	}
+}
