@@ -349,6 +349,11 @@ type ResultStream struct {
 	// Skipped counts records dropped for carrying an unknown envelope
 	// version or record kind — forward compatibility, not an error.
 	Skipped int
+	// Truncated reports that the stream's final line was undecodable
+	// after at least one record decoded cleanly — the shape a dropped
+	// client leaves when a server response is cut mid-envelope. The
+	// partial tail is discarded; every earlier record is kept.
+	Truncated bool
 }
 
 // ReadResults decodes a JSONL result stream: enveloped records of a
@@ -361,7 +366,7 @@ func ReadResults(r io.Reader) (*ResultStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ResultStream{Records: s.Records, Runs: s.Runs, Skipped: s.Skipped}, nil
+	return &ResultStream{Records: s.Records, Runs: s.Runs, Skipped: s.Skipped, Truncated: s.Truncated}, nil
 }
 
 // RunReportNames lists the run reports rebuildable from persisted

@@ -19,6 +19,17 @@
 //	aibench costs
 //	aibench report <table1..table7|figure1a..figure7|all>
 //	aibench version [-tune-from F]
+//	aibench serve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	aibench submit -plan '{"kind":"session",...}' [-addr host:port] [-tenant T] [-out F]
+//
+// `aibench serve` runs the suite as a service: Plan submissions POSTed
+// to /jobs flow through a bounded per-tenant fair queue and a worker
+// pool, results stream back as the same NDJSON envelope lines `run
+// -out` writes, and identical submissions replay byte-identically from
+// an exact result cache (see internal/server). SIGINT/SIGTERM drains
+// gracefully. `aibench submit` is the matching client: it posts a plan
+// JSON and streams the response to stdout or -out, where
+// `aibench-report -from` can rebuild reports from it.
 //
 // Every run command also accepts -telemetry (collect the two-plane
 // trace/metrics records and print a span summary), -cpuprofile, and
@@ -86,6 +97,10 @@ func main() {
 		cmdReport(suite, os.Args[2:])
 	case "version":
 		cmdVersion(suite, os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "submit":
+		cmdSubmit(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -93,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|replay|tune|subset|costs|report|version> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aibench <list|run|run-all|scaling|characterize|replay|tune|subset|costs|report|version|serve|submit> [args]")
 }
 
 // cmdVersion prints the header every bug report and trace artifact

@@ -44,6 +44,7 @@ var resultAffectingPackages = map[string]bool{
 	"aibench/internal/models":       true,
 	"aibench/internal/telemetry":    true, // trace records are persisted and byte-diffed in CI
 	"aibench/internal/tune":         true, // tuneconfig records are persisted and their entry order is contractual
+	"aibench/internal/server":       true, // streamed/cached envelope bodies are byte-compared on replay
 	"aibench/cmd/aibench":           true,
 	"aibench/cmd/aibench-report":    true,
 	"aibench/cmd/aibench-benchjson": true,
@@ -52,9 +53,10 @@ var resultAffectingPackages = map[string]bool{
 // enginePackages run the epoch/session loops the Plan Runner's
 // cancellation contract binds (ctx checked at every epoch boundary).
 var enginePackages = map[string]bool{
-	"aibench/internal/core": true,
-	"aibench/internal/dist": true,
-	"aibench":               true, // facade wrappers over the Runner
+	"aibench/internal/core":   true,
+	"aibench/internal/dist":   true,
+	"aibench":                 true, // facade wrappers over the Runner
+	"aibench/internal/server": true, // worker loops drive Runner.Run; job ctx is the cancellation signal
 }
 
 // sinkPackages move records through failable sinks: the engines that
@@ -65,6 +67,7 @@ var sinkPackages = map[string]bool{
 	"aibench/internal/core":         true,
 	"aibench/internal/dist":         true,
 	"aibench/internal/results":      true,
+	"aibench/internal/server":       true, // tees envelope streams to clients and the result cache
 	"aibench/cmd/aibench":           true,
 	"aibench/cmd/aibench-report":    true,
 	"aibench/cmd/aibench-benchjson": true,

@@ -17,12 +17,13 @@ import (
 // a mini CNN embedding on synthetic identities; quality is verification
 // accuracy with a distance threshold fit on training pairs.
 type FaceEmbedding struct {
-	net     *miniResNet
-	embed   *nn.Linear
-	opt     optim.Optimizer
-	ds      *data.Faces
-	batches int
-	dim     int
+	net      *miniResNet
+	embed    *nn.Linear
+	opt      optim.Optimizer
+	ds       *data.Faces
+	batches  int
+	triplets int
+	dim      int
 }
 
 // NewFaceEmbedding constructs the scaled benchmark.
@@ -30,11 +31,12 @@ func NewFaceEmbedding(seed int64) *FaceEmbedding {
 	rng := rand.New(rand.NewSource(seed))
 	net := newMiniResNet(rng, 1, 6, 4)
 	b := &FaceEmbedding{
-		net:     net,
-		embed:   nn.NewLinear(rng, 12, 8),
-		ds:      data.NewFaces(seed+1000, 8, 1, 8, 8, 0.35),
-		batches: 8,
-		dim:     8,
+		net:      net,
+		embed:    nn.NewLinear(rng, 12, 8),
+		ds:       data.NewFaces(seed+1000, 8, 1, 8, 8, 0.35),
+		batches:  8,
+		triplets: 12,
+		dim:      8,
 	}
 	b.opt = optim.NewAdam(b.Module(), 2e-3)
 	return b
@@ -53,7 +55,7 @@ func (b *FaceEmbedding) TrainEpoch() float64 {
 	b.net.SetTraining(true)
 	total := 0.0
 	for i := 0; i < b.batches; i++ {
-		a, p, n := b.ds.Triplets(12)
+		a, p, n := b.ds.Triplets(b.triplets)
 		b.opt.ZeroGrad()
 		loss := autograd.TripletLoss(b.embedBatch(a), b.embedBatch(p), b.embedBatch(n), 0.5)
 		loss.Backward()
@@ -62,6 +64,40 @@ func (b *FaceEmbedding) TrainEpoch() float64 {
 	}
 	return total / float64(b.batches)
 }
+
+// BeginEpoch implements ShardedTrainer.
+func (b *FaceEmbedding) BeginEpoch() { b.net.SetTraining(true) }
+
+// StepsPerEpoch implements ShardedTrainer.
+func (b *FaceEmbedding) StepsPerEpoch() int { return b.batches }
+
+// ApplyStep implements ShardedTrainer.
+func (b *FaceEmbedding) ApplyStep() { b.opt.Step() }
+
+// BeginStep implements ShardedTrainer: draw the step's triplet
+// macro-batch once — all RNG happens here, keeping replicas in
+// lockstep — and split it row-wise into per-grain triplet sub-batches,
+// anchors, positives, and negatives sliced in step.
+func (b *FaceEmbedding) BeginStep() []Grain {
+	a, p, n := b.ds.Triplets(b.triplets)
+	bounds := GrainBounds(b.triplets, shardGrains)
+	gs := make([]Grain, len(bounds))
+	for g, bd := range bounds {
+		lo, hi := bd[0], bd[1]
+		gs[g] = func() (float64, int) {
+			loss := autograd.TripletLoss(
+				b.embedBatch(a.SliceRows(lo, hi)),
+				b.embedBatch(p.SliceRows(lo, hi)),
+				b.embedBatch(n.SliceRows(lo, hi)), 0.5)
+			loss.Backward()
+			return loss.Item(), hi - lo
+		}
+	}
+	return gs
+}
+
+// Buffers implements Buffered: the batch-norm running statistics.
+func (b *FaceEmbedding) Buffers() []*tensor.Tensor { return b.net.Buffers() }
 
 // Quality implements Benchmark: verification accuracy — fit a distance
 // threshold on one pair set, evaluate on another.

@@ -16,6 +16,8 @@ package results
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +31,19 @@ import (
 
 // Version is the envelope schema version this package writes.
 const Version = 1
+
+// Key derives the exact-result-cache key binding a canonical Plan (see
+// core.Plan.Canonical) to the suite roster that would run it. Runs are
+// bitwise-deterministic functions of (roster, canonical plan), so a
+// result stream stored under this key can be replayed byte-identically
+// for every later identical submission with zero retraining.
+func Key(suiteSHA string, canonicalPlan []byte) string {
+	h := sha256.New()
+	h.Write([]byte(suiteSHA))
+	h.Write([]byte{'\n'})
+	h.Write(canonicalPlan)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
 
 // maxLine bounds one JSONL line (a session record carries its full
 // loss trace, so lines can run long).
@@ -94,6 +109,13 @@ type Stream struct {
 	// Skipped counts records dropped for carrying an unknown envelope
 	// version or record kind — forward compatibility, not an error.
 	Skipped int
+	// Truncated reports that the stream's final line was undecodable
+	// after at least one record decoded cleanly — the shape a dropped
+	// client leaves behind when a server stream is cut mid-envelope.
+	// The truncated tail is discarded; every earlier record is kept.
+	// Mid-stream garbage is still an error: only the last line can be
+	// forgiven, because only the last line can be a partial write.
+	Truncated bool
 }
 
 // ReadFile decodes the JSONL result stream at path.
@@ -115,11 +137,20 @@ func Read(r io.Reader) (*Stream, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
 	line := 0
+	// An undecodable line is held here rather than returned on the
+	// spot: if any content follows it, the stream is corrupt and the
+	// held error surfaces; if nothing follows, the bad line was the
+	// stream's tail — the shape a disconnected client leaves — and is
+	// forgiven as Truncated so earlier records stay readable.
+	var pendingErr error
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
+		}
+		if pendingErr != nil {
+			return nil, pendingErr // the bad line wasn't the last: corrupt, not truncated
 		}
 		var env Envelope
 		envErr := json.Unmarshal(raw, &env)
@@ -131,9 +162,11 @@ func Read(r io.Reader) (*Stream, error) {
 			var sr core.SessionResult
 			if err := json.Unmarshal(raw, &sr); err != nil || sr.ID == "" {
 				if envErr != nil {
-					return nil, fmt.Errorf("results: line %d: %v", line, envErr)
+					pendingErr = fmt.Errorf("results: line %d: %v", line, envErr)
+				} else {
+					pendingErr = fmt.Errorf("results: line %d: neither a result envelope nor a legacy session result", line)
 				}
-				return nil, fmt.Errorf("results: line %d: neither a result envelope nor a legacy session result", line)
+				continue
 			}
 			s.Records = append(s.Records, core.Record{Kind: core.KindSession, Session: &sr})
 			continue
@@ -144,7 +177,8 @@ func Read(r io.Reader) (*Stream, error) {
 		}
 		rec, known, err := decode(env)
 		if err != nil {
-			return nil, fmt.Errorf("results: line %d: %v", line, err)
+			pendingErr = fmt.Errorf("results: line %d: %v", line, err)
+			continue
 		}
 		if !known {
 			s.Skipped++
@@ -161,6 +195,12 @@ func Read(r io.Reader) (*Stream, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("results: %v", err)
+	}
+	if pendingErr != nil {
+		if len(s.Records) == 0 {
+			return nil, pendingErr // nothing salvageable: surface the corruption
+		}
+		s.Truncated = true
 	}
 	return s, nil
 }
@@ -288,6 +328,21 @@ func (s *Stream) RunMetrics() []*telemetry.RunMetrics {
 	for _, r := range s.Records {
 		if r.Kind == core.KindRunMetrics && r.RunMetrics != nil {
 			out = append(out, r.RunMetrics)
+		}
+	}
+	return out
+}
+
+// ByRun returns the records whose envelope identified the run by the
+// given suite SHA and seed, in file order. Server-shaped streams —
+// many runs appended or interleaved into one file — separate back into
+// per-run streams this way; records from legacy bare lines carry no
+// run identity and never match.
+func (s *Stream) ByRun(suiteSHA string, seed int64) []core.Record {
+	var out []core.Record
+	for _, r := range s.Records {
+		if r.Run != nil && r.Run.SuiteSHA == suiteSHA && r.Run.Seed == seed {
+			out = append(out, r)
 		}
 	}
 	return out

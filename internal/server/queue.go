@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// fairQueue is the bounded submission queue with per-tenant fair
+// scheduling: each tenant gets a FIFO, and pop serves the tenant FIFOs
+// round-robin, so one tenant flooding the queue delays its own later
+// jobs, not other tenants' first ones. The bound is global — push
+// refuses outright when capacity jobs are queued, which is the
+// server's backpressure signal (429), never unbounded memory.
+//
+// The round-robin ring is an explicit slice in tenant arrival order,
+// not a map iteration, so pop order is deterministic for a given
+// push/pop history (and stays clear of the maprange invariant).
+type fairQueue struct {
+	mu sync.Mutex
+	// capacity bounds the total queued jobs across all tenants.
+	capacity int
+	// n is the current total across all tenant FIFOs.
+	n int
+	// fifos holds each tenant's pending jobs in arrival order.
+	fifos map[string][]*job
+	// ring lists tenants with pending jobs, in first-arrival order;
+	// next indexes the tenant pop serves first.
+	ring []string
+	next int
+	// ready carries one token per queued job; its capacity matches the
+	// queue's, so a post-push send never blocks.
+	ready chan struct{}
+}
+
+func newFairQueue(capacity int) *fairQueue {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &fairQueue{
+		capacity: capacity,
+		fifos:    map[string][]*job{},
+		ready:    make(chan struct{}, capacity),
+	}
+}
+
+// push appends j to its tenant's FIFO; false means the queue is at
+// capacity and the caller must shed the job (429 + Retry-After).
+func (q *fairQueue) push(j *job) bool {
+	q.mu.Lock()
+	if q.n >= q.capacity {
+		q.mu.Unlock()
+		return false
+	}
+	if _, seen := q.fifos[j.tenant]; !seen {
+		q.ring = append(q.ring, j.tenant)
+	}
+	q.fifos[j.tenant] = append(q.fifos[j.tenant], j)
+	q.n++
+	q.mu.Unlock()
+	q.ready <- struct{}{} // cannot block: one token per admitted job
+	return true
+}
+
+// pop blocks until a job is available or ctx is done, then returns the
+// next job in round-robin tenant order (nil on cancellation). Each pop
+// advances the ring one tenant, so tenants with pending work alternate
+// regardless of how deep any one tenant's FIFO is.
+func (q *fairQueue) pop(ctx context.Context) *job {
+	select {
+	case <-ctx.Done():
+		return nil
+	case <-q.ready:
+	}
+	return q.take()
+}
+
+// tryPop is pop without the wait: the drain path uses it to flush
+// abandoned jobs after the workers have exited.
+func (q *fairQueue) tryPop() *job {
+	select {
+	case <-q.ready:
+	default:
+		return nil
+	}
+	return q.take()
+}
+
+// take removes and returns the head job of the ring's next tenant. A
+// consumed ready token guarantees one is present.
+func (q *fairQueue) take() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	tenant := q.ring[q.next]
+	fifo := q.fifos[tenant]
+	j := fifo[0]
+	if len(fifo) == 1 {
+		// Tenant drained: drop it from the ring; next now indexes the
+		// following tenant, so no advance.
+		delete(q.fifos, tenant)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		if len(q.ring) == 0 {
+			q.next = 0
+		} else {
+			q.next %= len(q.ring)
+		}
+	} else {
+		q.fifos[tenant] = fifo[1:]
+		q.next = (q.next + 1) % len(q.ring)
+	}
+	q.n--
+	return j
+}
+
+// depth reports how many jobs are queued.
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func tenantJob(tenant string) *job {
+	return &job{tenant: tenant, done: make(chan struct{})}
+}
+
+// TestFairQueueRoundRobin: pop serves tenants round-robin, so a
+// tenant's flood delays its own later jobs, not another tenant's
+// first. Push order A1 A2 A3 B1 C1 C2 must pop A1 B1 C1 A2 C2 A3.
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue(8)
+	jobs := map[*job]string{}
+	push := func(tenant, label string) {
+		j := tenantJob(tenant)
+		jobs[j] = label
+		if !q.push(j) {
+			t.Fatalf("push %s: queue unexpectedly full", label)
+		}
+	}
+	push("a", "A1")
+	push("a", "A2")
+	push("a", "A3")
+	push("b", "B1")
+	push("c", "C1")
+	push("c", "C2")
+
+	want := []string{"A1", "B1", "C1", "A2", "C2", "A3"}
+	ctx := context.Background()
+	for i, w := range want {
+		j := q.pop(ctx)
+		if j == nil {
+			t.Fatalf("pop %d: nil", i)
+		}
+		if got := jobs[j]; got != w {
+			t.Fatalf("pop %d: got %s, want %s", i, got, w)
+		}
+	}
+	if q.depth() != 0 {
+		t.Fatalf("depth after draining = %d, want 0", q.depth())
+	}
+}
+
+// TestFairQueueBackpressure: the bound is global and push refuses at
+// capacity; a pop frees exactly one slot.
+func TestFairQueueBackpressure(t *testing.T) {
+	q := newFairQueue(2)
+	if !q.push(tenantJob("a")) || !q.push(tenantJob("b")) {
+		t.Fatal("pushes under capacity refused")
+	}
+	if q.push(tenantJob("c")) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	if q.pop(context.Background()) == nil {
+		t.Fatal("pop returned nil with jobs queued")
+	}
+	if !q.push(tenantJob("c")) {
+		t.Fatal("push refused after a pop freed a slot")
+	}
+}
+
+// TestFairQueuePopHonorsContext: a canceled context unblocks pop with
+// nil — the worker-shutdown path.
+func TestFairQueuePopHonorsContext(t *testing.T) {
+	q := newFairQueue(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan *job, 1)
+	go func() { got <- q.pop(ctx) }()
+	cancel()
+	select {
+	case j := <-got:
+		if j != nil {
+			t.Fatalf("pop returned a job from an empty queue: %+v", j)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pop did not unblock on context cancellation")
+	}
+}
+
+// TestFairQueueSingleTenantFIFO: with one tenant the queue is a plain
+// FIFO.
+func TestFairQueueSingleTenantFIFO(t *testing.T) {
+	q := newFairQueue(4)
+	js := []*job{tenantJob("a"), tenantJob("a"), tenantJob("a")}
+	for _, j := range js {
+		if !q.push(j) {
+			t.Fatal("push refused under capacity")
+		}
+	}
+	ctx := context.Background()
+	for i, want := range js {
+		if got := q.pop(ctx); got != want {
+			t.Fatalf("pop %d out of FIFO order", i)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aibench/internal/results"
+)
+
+func newTestServer(t *testing.T, opts Options, start bool) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	if start {
+		s.Start()
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, tenant, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+const smallPlan = `{"kind":"session","session":"quasi-entire","benchmarks":["DC-AI-C1"],"seed":42,"epochs":1}`
+
+// TestSubmitStreamsThenCaches is the tentpole contract end to end: the
+// first submission runs and streams a decodable envelope stream; the
+// identical second submission is answered from the exact cache,
+// byte-identical, with zero retraining.
+func TestSubmitStreamsThenCaches(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueCap: 4}, true)
+
+	first := submit(t, ts, "alice", smallPlan)
+	firstBody, err := io.ReadAll(first.Body)
+	first.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: status %d, body %s", first.StatusCode, firstBody)
+	}
+	if got := first.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first submit: X-Cache = %q, want miss", got)
+	}
+	if ct := first.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("first submit: Content-Type = %q", ct)
+	}
+
+	// The response body is a results stream aibench-report could read.
+	stream, err := results.Read(bytes.NewReader(firstBody))
+	if err != nil {
+		t.Fatalf("response body is not a decodable result stream: %v", err)
+	}
+	if len(stream.Records) != 1 || len(stream.Sessions()) != 1 {
+		t.Fatalf("stream records = %d (sessions %d), want 1 session", len(stream.Records), len(stream.Sessions()))
+	}
+	if sr := stream.Sessions()[0]; sr.ID != "DC-AI-C1" || sr.Epochs != 1 {
+		t.Fatalf("session decoded as %+v", sr)
+	}
+	if len(stream.Runs) != 1 || stream.Runs[0].SuiteSHA != s.SuiteSHA() {
+		t.Fatalf("stream runs = %+v, want one run under suite %s", stream.Runs, s.SuiteSHA())
+	}
+	if stream.Runs[0].Started != "" {
+		t.Fatalf("server stream stamped a wall-clock start %q; cached replays would not be byte-stable", stream.Runs[0].Started)
+	}
+
+	// Identical resubmission: served from cache, byte for byte.
+	second := submit(t, ts, "bob", smallPlan)
+	secondBody, err := io.ReadAll(second.Body)
+	second.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second submit: X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Fatalf("cached replay differs from original:\n%s\n%s", firstBody, secondBody)
+	}
+	if first.Header.Get("X-Cache-Key") != second.Header.Get("X-Cache-Key") {
+		t.Fatal("identical submissions got different cache keys")
+	}
+
+	// Zero retraining: one job ever ran.
+	snap := s.stats.Snapshot()
+	if snap.JobsAccepted != 1 || snap.JobsCompleted != 1 || snap.JobsCached != 1 {
+		t.Fatalf("stats = %+v, want accepted/completed/cached = 1/1/1", snap)
+	}
+
+	// A semantically identical but differently-spelled plan also hits:
+	// canonicalization owns the key.
+	respelled := `{"benchmarks":["DC-AI-C1","DC-AI-C1"],"epochs":1,"seed":42,"session":"quasi-entire","kind":"session"}`
+	third := submit(t, ts, "carol", respelled)
+	thirdBody, err := io.ReadAll(third.Body)
+	third.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := third.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("respelled submit: X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(firstBody, thirdBody) {
+		t.Fatal("respelled plan's cached replay differs from original")
+	}
+}
+
+// TestQueueFullRejectsAndDrainSheds: with no workers and QueueCap 1,
+// the second submission must be shed with 429 + Retry-After while the
+// first stays queued; a drain then cancels the queued job and its
+// handler answers 503.
+func TestQueueFullRejectsAndDrainSheds(t *testing.T) {
+	s := New(Options{QueueCap: 1}) // workers never started
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp := submit(t, ts, "alice", smallPlan)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	waitFor(t, "first job queued", func() bool { return s.queue.depth() == 1 })
+
+	second := submit(t, ts, "bob", smallPlan)
+	_, _ = io.Copy(io.Discard, second.Body)
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response carries no Retry-After")
+	}
+	if snap := s.stats.Snapshot(); snap.JobsRejected != 1 || snap.QueueDepth != 1 {
+		t.Fatalf("stats after rejection = %+v, want rejected 1, depth 1", snap)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case status := <-firstDone:
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("shed queued job answered %d, want 503", status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain left the queued job's handler blocked")
+	}
+	if snap := s.stats.Snapshot(); snap.JobsCanceled != 1 || snap.QueueDepth != 0 {
+		t.Fatalf("stats after drain = %+v, want canceled 1, depth 0", snap)
+	}
+}
+
+// TestClientDisconnectCancelsRun: abandoning an in-flight submission
+// cancels the job's context, so the run stops at its next epoch
+// boundary instead of training out its budget, and the server moves
+// on.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueCap: 4}, true)
+
+	// A run long enough to be mid-flight when the client walks away.
+	long := `{"kind":"session","session":"quasi-entire","benchmarks":["DC-AI-C1"],"seed":7,"epochs":100000}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/jobs", strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "alice")
+	errc := make(chan error, 1)
+	go func() {
+		resp, derr := ts.Client().Do(req)
+		if derr == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- derr
+	}()
+
+	var j *job
+	waitFor(t, "job running", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, id := range s.jobOrder {
+			if cand := s.jobs[id]; cand != nil && cand.state.Load() == jobRunning {
+				j = cand
+				return true
+			}
+		}
+		return false
+	})
+
+	cancel()
+	<-errc
+	waitFor(t, "job canceled", func() bool { return j.state.Load() == jobCanceled })
+	if snap := s.stats.Snapshot(); snap.JobsCanceled != 1 {
+		t.Fatalf("stats = %+v, want canceled 1", snap)
+	}
+	if s.cache.len() != 0 {
+		t.Fatal("interrupted run was cached; replays would not be exact")
+	}
+
+	// The worker survives to serve the next job.
+	resp := submit(t, ts, "bob", smallPlan)
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel submit: status %d err %v", resp.StatusCode, err)
+	}
+	if stream, err := results.Read(bytes.NewReader(body)); err != nil || len(stream.Sessions()) != 1 {
+		t.Fatalf("post-cancel stream: %v", err)
+	}
+}
+
+// TestTenantFairnessOverHTTP: with submissions parked in the queue,
+// pop order interleaves tenants — B's first job runs before A's
+// second even though A enqueued two jobs first.
+func TestTenantFairnessOverHTTP(t *testing.T) {
+	s := New(Options{QueueCap: 8}) // workers held back: pops are manual
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	handlers := make(chan struct{}, 3)
+	enqueue := func(tenant string, depth int) {
+		go func() {
+			resp := submit(t, ts, tenant, smallPlan)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			handlers <- struct{}{}
+		}()
+		waitFor(t, "queue depth", func() bool { return s.queue.depth() == depth })
+	}
+	enqueue("a", 1)
+	enqueue("a", 2)
+	enqueue("b", 3)
+
+	var order []string
+	for i := 0; i < 3; i++ {
+		j := s.queue.pop(context.Background())
+		order = append(order, j.tenant)
+		// Release the parked handler the way a drain would.
+		if j.state.CompareAndSwap(jobQueued, jobCanceled) {
+			j.setErr("test drain")
+			close(j.done)
+		}
+	}
+	if want := []string{"a", "b", "a"}; order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("pop tenant order %v, want %v", order, want)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-handlers:
+		case <-time.After(30 * time.Second):
+			t.Fatal("a released handler never returned")
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestShutdownCompletesInFlight: a patient drain lets the running job
+// finish and stream its full response.
+func TestShutdownCompletesInFlight(t *testing.T) {
+	s := New(Options{Workers: 1, QueueCap: 4})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp := submit(t, ts, "alice", smallPlan)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{resp.StatusCode, body}
+	}()
+	waitFor(t, "job picked up", func() bool { return s.stats.Snapshot().JobsAccepted == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case r := <-got:
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight job answered %d during drain, want 200", r.status)
+		}
+		if stream, err := results.Read(bytes.NewReader(r.body)); err != nil || len(stream.Sessions()) != 1 {
+			t.Fatalf("drained job's stream incomplete: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight job never finished during drain")
+	}
+
+	// Post-drain submissions are refused.
+	resp := submit(t, ts, "bob", smallPlan)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestJobStatusAndStatsEndpoints: the observability surface.
+func TestJobStatusAndStatsEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueCap: 4}, true)
+
+	resp := submit(t, ts, "alice", smallPlan)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get("X-Job-Id")
+	if id == "" {
+		t.Fatal("submit response carries no X-Job-Id")
+	}
+
+	st, err := ts.Client().Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status jobStatus
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if status.ID != id || status.State != "completed" || status.Records != 1 {
+		t.Fatalf("job status = %+v", status)
+	}
+	if !strings.HasPrefix(status.CacheKey, "sha256:") {
+		t.Fatalf("job status cache key %q", status.CacheKey)
+	}
+	if !bytes.Contains([]byte(status.Plan), []byte(`"benchmarks":["DC-AI-C1"]`)) {
+		t.Fatalf("job status plan %s is not the canonical form", status.Plan)
+	}
+
+	missing, err := ts.Client().Get(ts.URL + "/jobs/j-404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, missing.Body)
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job id: status %d, want 404", missing.StatusCode)
+	}
+
+	hz, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if health["status"] != "ok" || health["suite_sha"] != s.SuiteSHA() {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	sr, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if stats.JobsAccepted != 1 || stats.JobsCompleted != 1 || stats.QueueCapacity != 4 || stats.Workers != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.QueueDepth != 0 || stats.WorkersBusy != 0 {
+		t.Fatalf("idle server reports depth %d busy %d", stats.QueueDepth, stats.WorkersBusy)
+	}
+}
+
+// TestSubmitValidation: malformed submissions are 400s that never
+// touch the queue.
+func TestSubmitValidation(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueCap: 4}, true)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"garbage", `{nope`},
+		{"unknown field", `{"telemetry":true}`},
+		{"unknown kind", `{"kind":"warmup"}`},
+		{"unknown session", `{"session":"forever"}`},
+		{"unknown benchmark", `{"benchmarks":["DC-AI-C99"]}`},
+		{"unknown kernel", `{"kernel":"cuda"}`},
+		{"unknown backend", `{"backend":"grpc"}`},
+		{"unknown device", `{"kind":"characterize","device":"H100"}`},
+	} {
+		resp := submit(t, ts, "alice", tc.body)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if snap := s.stats.Snapshot(); snap.JobsAccepted != 0 {
+		t.Fatalf("validation failures were admitted: %+v", snap)
+	}
+}
+
+// TestReplayAndCharacterizeKindsServe: the other run kinds flow
+// through the same queue/stream/cache path.
+func TestReplayAndCharacterizeKindsServe(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueCap: 8}, true)
+	for _, tc := range []struct {
+		name, body string
+		sessions   int
+	}{
+		{"replay", `{"kind":"replay","benchmarks":["DC-AI-C1","DC-AI-C2"],"seed":5}`, 0},
+		{"characterize", `{"kind":"characterize","benchmarks":["DC-AI-C1"]}`, 0},
+	} {
+		resp := submit(t, ts, "alice", tc.body)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d err %v body %s", tc.name, resp.StatusCode, err, body)
+		}
+		stream, err := results.Read(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: undecodable stream: %v", tc.name, err)
+		}
+		if len(stream.Records) == 0 {
+			t.Fatalf("%s: empty stream", tc.name)
+		}
+		again := submit(t, ts, "alice", tc.body)
+		againBody, err := io.ReadAll(again.Body)
+		again.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Header.Get("X-Cache") != "hit" || !bytes.Equal(body, againBody) {
+			t.Fatalf("%s: resubmission missed the cache or diverged", tc.name)
+		}
+	}
+}
