@@ -27,8 +27,10 @@ type fairQueue struct {
 	// next indexes the tenant pop serves first.
 	ring []string
 	next int
-	// ready carries one token per queued job; its capacity matches the
-	// queue's, so a post-push send never blocks.
+	// ready carries one wake-up token per queued job. Removed jobs
+	// leave their token behind, so tokens may outnumber jobs (pop
+	// skips the stale ones) — but never the reverse: push only drops
+	// its send when the channel already holds a full queue's worth.
 	ready chan struct{}
 }
 
@@ -57,39 +59,103 @@ func (q *fairQueue) push(j *job) bool {
 	q.fifos[j.tenant] = append(q.fifos[j.tenant], j)
 	q.n++
 	q.mu.Unlock()
-	q.ready <- struct{}{} // cannot block: one token per admitted job
+	// Wake one pop. Non-blocking: stale tokens from removed jobs can
+	// fill the channel, and dropping the send is then safe — a full
+	// channel already holds one token per possible queued job, so no
+	// waiting worker can miss this push.
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
 	return true
 }
 
 // pop blocks until a job is available or ctx is done, then returns the
 // next job in round-robin tenant order (nil on cancellation). Each pop
 // advances the ring one tenant, so tenants with pending work alternate
-// regardless of how deep any one tenant's FIFO is.
+// regardless of how deep any one tenant's FIFO is. Tokens whose job was
+// removed while queued are stale; pop skips them and keeps waiting.
 func (q *fairQueue) pop(ctx context.Context) *job {
-	select {
-	case <-ctx.Done():
-		return nil
-	case <-q.ready:
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-q.ready:
+		}
+		if j := q.take(); j != nil {
+			return j
+		}
 	}
-	return q.take()
 }
 
 // tryPop is pop without the wait: the drain path uses it to flush
 // abandoned jobs after the workers have exited.
 func (q *fairQueue) tryPop() *job {
-	select {
-	case <-q.ready:
-	default:
-		return nil
+	for {
+		select {
+		case <-q.ready:
+		default:
+			return nil
+		}
+		if j := q.take(); j != nil {
+			return j
+		}
 	}
-	return q.take()
 }
 
-// take removes and returns the head job of the ring's next tenant. A
-// consumed ready token guarantees one is present.
+// remove unlinks a still-queued job so its capacity is released the
+// moment its client disconnects — an abandoned submission must not
+// hold a queue slot (and draw 429s for live traffic) until a worker
+// gets around to discarding it. The job's ready token stays in the
+// channel; tokens are fungible, so pop treats one with no job behind
+// it as stale. Reports whether j was found (false means a worker
+// already claimed it).
+func (q *fairQueue) remove(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fifo := q.fifos[j.tenant]
+	idx := -1
+	for i := range fifo {
+		if fifo[i] == j {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	if len(fifo) == 1 {
+		delete(q.fifos, j.tenant)
+		for ri, t := range q.ring {
+			if t == j.tenant {
+				q.ring = append(q.ring[:ri], q.ring[ri+1:]...)
+				if ri < q.next {
+					q.next--
+				}
+				break
+			}
+		}
+		if len(q.ring) == 0 {
+			q.next = 0
+		} else {
+			q.next %= len(q.ring)
+		}
+	} else {
+		q.fifos[j.tenant] = append(fifo[:idx], fifo[idx+1:]...)
+	}
+	q.n--
+	return true
+}
+
+// take removes and returns the head job of the ring's next tenant, or
+// nil when the consumed token was stale (its job was removed while
+// queued and the queue is now empty).
 func (q *fairQueue) take() *job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if len(q.ring) == 0 {
+		return nil
+	}
 	tenant := q.ring[q.next]
 	fifo := q.fifos[tenant]
 	j := fifo[0]

@@ -82,6 +82,91 @@ func TestFairQueuePopHonorsContext(t *testing.T) {
 	}
 }
 
+// TestFairQueueRemoveReleasesCapacity: removing an abandoned queued
+// job frees its slot immediately, and the stale ready token it leaves
+// behind never surfaces as a job.
+func TestFairQueueRemoveReleasesCapacity(t *testing.T) {
+	q := newFairQueue(2)
+	a, b := tenantJob("a"), tenantJob("b")
+	if !q.push(a) || !q.push(b) {
+		t.Fatal("pushes under capacity refused")
+	}
+	if q.push(tenantJob("c")) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	if !q.remove(a) {
+		t.Fatal("remove of a queued job reported not found")
+	}
+	if q.depth() != 1 {
+		t.Fatalf("depth after remove = %d, want 1", q.depth())
+	}
+	c := tenantJob("c")
+	if !q.push(c) {
+		t.Fatal("push refused after remove freed a slot")
+	}
+	ctx := context.Background()
+	if got := q.pop(ctx); got != b {
+		t.Fatal("first pop after remove is not the surviving job")
+	}
+	if got := q.pop(ctx); got != c {
+		t.Fatal("second pop after remove is not the later push")
+	}
+	if q.tryPop() != nil {
+		t.Fatal("tryPop returned a job from an empty queue (stale token surfaced)")
+	}
+	if q.remove(a) {
+		t.Fatal("removing an already-removed job succeeded")
+	}
+}
+
+// TestFairQueueRemoveMidFIFO: removing from the middle of a tenant's
+// FIFO keeps that tenant's remaining order intact.
+func TestFairQueueRemoveMidFIFO(t *testing.T) {
+	q := newFairQueue(4)
+	a1, a2, a3 := tenantJob("a"), tenantJob("a"), tenantJob("a")
+	for _, j := range []*job{a1, a2, a3} {
+		if !q.push(j) {
+			t.Fatal("push refused under capacity")
+		}
+	}
+	if !q.remove(a2) {
+		t.Fatal("mid-FIFO remove reported not found")
+	}
+	ctx := context.Background()
+	if q.pop(ctx) != a1 || q.pop(ctx) != a3 {
+		t.Fatal("FIFO order broken by mid-FIFO remove")
+	}
+	if q.depth() != 0 {
+		t.Fatalf("depth after draining = %d, want 0", q.depth())
+	}
+}
+
+// TestFairQueueRemoveBeforeCursorKeepsRingOrder: removing a tenant
+// that sits before the round-robin cursor must shift the cursor with
+// the ring, not let it skip the tenant it pointed at.
+func TestFairQueueRemoveBeforeCursorKeepsRingOrder(t *testing.T) {
+	q := newFairQueue(4)
+	a1, a2 := tenantJob("a"), tenantJob("a")
+	b, c := tenantJob("b"), tenantJob("c")
+	for _, j := range []*job{a1, a2, b, c} {
+		if !q.push(j) {
+			t.Fatal("push refused under capacity")
+		}
+	}
+	ctx := context.Background()
+	if q.pop(ctx) != a1 {
+		t.Fatal("first pop is not A1")
+	}
+	// Cursor now points at b. Dropping tenant a (before the cursor)
+	// must keep b next, then c.
+	if !q.remove(a2) {
+		t.Fatal("remove of a's last job reported not found")
+	}
+	if q.pop(ctx) != b || q.pop(ctx) != c {
+		t.Fatal("ring cursor skipped a tenant after remove")
+	}
+}
+
 // TestFairQueueSingleTenantFIFO: with one tenant the queue is a plain
 // FIFO.
 func TestFairQueueSingleTenantFIFO(t *testing.T) {

@@ -169,6 +169,61 @@ func (j *job) errText() string {
 	return j.errMsg
 }
 
+// kernelGate serializes the process-global kernel/tuning state that a
+// run switches on entry (tensor.UseKernels in Runner.Run and the
+// session engine, tune.Apply for tuned plans). The globals themselves
+// are atomic, so the hazard is not a data race but a semantic one:
+// with Workers > 1, a job starting with a different kernel would
+// silently switch an in-flight job's tensor dispatch mid-run, making
+// its results disagree with its envelope meta and cache key. The gate
+// admits any number of jobs that agree on the (kernel, tuning)
+// signature concurrently — same-name switches are idempotent — and
+// makes a job with any other signature wait until the pool drains
+// before it may switch. One gate per process, like the state it
+// guards: every Server in the process shares it.
+type kernelGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sig     string
+	active  int
+	waiting int
+}
+
+func newKernelGate() *kernelGate {
+	g := &kernelGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+var kernelGuard = newKernelGate()
+
+// acquire blocks until sig is compatible with every job already inside
+// the gate (identical signature, or none running), then enters. While
+// anyone is waiting, matching-signature jobs queue up too instead of
+// barging in — otherwise a steady stream of same-kernel jobs could
+// keep the gate occupied and starve a differing-kernel job forever.
+func (g *kernelGate) acquire(sig string) {
+	g.mu.Lock()
+	for g.active > 0 && (g.sig != sig || g.waiting > 0) {
+		g.waiting++
+		g.cond.Wait()
+		g.waiting--
+	}
+	g.sig = sig
+	g.active++
+	g.mu.Unlock()
+}
+
+// release exits the gate, waking waiters when the pool drains.
+func (g *kernelGate) release() {
+	g.mu.Lock()
+	g.active--
+	if g.active == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
 // resultCache is the exact result cache: completed envelope streams
 // keyed by results.Key(suite SHA, canonical plan), replayed verbatim.
 // Bounded by entry count, evicting in insertion order; the ledger is a
@@ -325,12 +380,6 @@ func (s *Server) Start() {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
-	running := make([]*job, 0, len(s.jobOrder))
-	for _, id := range s.jobOrder {
-		if j := s.jobs[id]; j != nil && j.state.Load() == jobRunning {
-			running = append(running, j)
-		}
-	}
 	s.mu.Unlock()
 
 	s.cancel() // workers exit after their current job
@@ -345,9 +394,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		// Impatient shutdown: cancel in-flight runs (they stop at the
 		// next epoch boundary) and wait for the workers to come back.
-		for _, j := range running {
-			j.cancel()
+		// The ledger is scanned here, after s.cancel, not snapshotted
+		// before it: a worker that claimed a queued job while the drain
+		// flag was going up either observed the cancellation and shed
+		// the job without running it, or claimed it before — in which
+		// case its queued→running CAS is already visible to this scan.
+		// Either way no unkillable run can slip past the deadline.
+		s.mu.Lock()
+		for _, id := range s.jobOrder {
+			if j := s.jobs[id]; j != nil && j.state.Load() == jobRunning {
+				j.cancel()
+			}
 		}
+		s.mu.Unlock()
 		<-finished
 		err = ctx.Err()
 	}
@@ -376,6 +435,16 @@ func (s *Server) worker() {
 		if !j.state.CompareAndSwap(jobQueued, jobRunning) {
 			continue // abandoned while queued; its watcher closed done
 		}
+		if s.ctx.Err() != nil {
+			// Claimed in the instant Shutdown fired: shed instead of
+			// starting a run nothing would cancel — the impatient
+			// drain's cancel scan only covers jobs it can see running.
+			j.state.Store(jobCanceled)
+			j.setErr("server draining")
+			s.stats.Inc(telemetry.SvcJobsCanceled)
+			close(j.done)
+			return
+		}
 		s.stats.Gauge(telemetry.GaugeWorkersBusy, 1)
 		s.runJob(j)
 		s.stats.Gauge(telemetry.GaugeWorkersBusy, -1)
@@ -390,6 +459,14 @@ func (s *Server) worker() {
 // run meta, so the stream is a pure function of (roster, canonical
 // plan) and replaying it later is exact.
 func (s *Server) runJob(j *job) {
+	// Hold the kernel gate for the whole job — including Meta(), whose
+	// tuning provenance must name what the run actually dispatches to.
+	// The submit handler pinned plan.Kernel, so the signature names a
+	// concrete kernel, never "whatever happens to be active".
+	plan := j.runner.Plan()
+	kernelGuard.acquire(plan.Kernel + "\x00" + plan.TuneFrom)
+	defer kernelGuard.release()
+
 	var cacheBuf bytesBuffer
 	w := results.NewWriter(io.MultiWriter(&cacheBuf, markWriter{j}), j.runner.Meta())
 	sink := func(rec core.Record) error {
@@ -414,7 +491,12 @@ func (s *Server) runJob(j *job) {
 	default:
 		j.state.Store(jobCompleted)
 		s.stats.Inc(telemetry.SvcJobsCompleted)
-		if cleanRun(res) {
+		// An ambient-tuned run (kernel "tuned" with no TuneFrom pin)
+		// uses whatever tuning is active when the worker reaches it, so
+		// its stream is not a pure function of the canonical plan —
+		// caching it would replay one ambient state's bytes forever.
+		cacheable := plan.Kernel != "tuned" || plan.TuneFrom != ""
+		if cleanRun(res) && cacheable {
 			s.cache.put(j.key, cacheBuf.Bytes())
 		}
 	}
@@ -521,7 +603,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if plan.Kernel == "" {
 		// Pin the kernel now: the cache key and the envelope meta must
 		// name what this job will dispatch to, not whatever kernel an
-		// earlier job's plan left active.
+		// earlier job's plan left active. runJob's kernelGuard then
+		// holds concurrent workers to the pin for the whole run.
 		plan.Kernel = tensor.ActiveKernels().Name()
 	}
 	runner, err := core.NewRunner(s.reg, plan)
@@ -577,9 +660,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j.id = "j-" + strconv.FormatInt(s.nextID, 10)
 	s.mu.Unlock()
 
-	// Streaming headers go on before the job is queued: the moment push
-	// succeeds a worker may claim the job and write, and the header map
-	// must not be touched concurrently. A rejected push undoes them.
+	// The ledger entry goes in before the queue push: the moment push
+	// succeeds a worker may stream the X-Job-Id header to the client,
+	// and a GET /jobs/{id} racing that must find the job, not a
+	// transient 404. A rejected push takes the entry back out.
+	s.remember(j)
+
+	// Streaming headers likewise go on before the job is queued — once
+	// a worker can write, the header map must not be touched
+	// concurrently. A rejected push undoes them.
 	h := w.Header()
 	h.Set("Content-Type", "application/x-ndjson")
 	h.Set("X-Cache", "miss")
@@ -587,6 +676,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Job-Id", j.id)
 
 	if !s.queue.push(j) {
+		s.forget(j)
 		s.stats.Inc(telemetry.SvcJobsRejected)
 		h.Del("X-Cache")
 		h.Del("X-Cache-Key")
@@ -597,15 +687,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.Inc(telemetry.SvcJobsAccepted)
 	s.stats.Gauge(telemetry.GaugeQueueDepth, 1)
-	s.remember(j)
 
-	// The disconnect watcher: a client abandoning a queued job races
-	// the worker's claim through the state CAS — exactly one side wins
-	// and closes done. A running job needs no watcher; its run context
-	// is the request context.
+	// The disconnect watcher: a client abandoning a queued job first
+	// unlinks it from the queue so its capacity frees immediately, then
+	// races the worker's claim through the state CAS — exactly one side
+	// wins and closes done. A running job needs no watcher; its run
+	// context is the request context.
 	go func() {
 		select {
 		case <-jctx.Done():
+			if s.queue.remove(j) {
+				s.stats.Gauge(telemetry.GaugeQueueDepth, -1)
+			}
 			if j.state.CompareAndSwap(jobQueued, jobCanceled) {
 				s.stats.Inc(telemetry.SvcJobsCanceled)
 				j.setErr("canceled while queued: " + jctx.Err().Error())
@@ -625,16 +718,51 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// remember adds j to the bounded status ledger.
+// remember adds j to the bounded status ledger. Eviction takes the
+// oldest *terminal* entry: a queued or running job must stay findable
+// no matter how much history accumulates behind it — Shutdown's cancel
+// scan and GET /jobs/{id} both walk this ledger. Live entries are
+// bounded by QueueCap plus the worker count, so a terminal candidate
+// always exists long before the ledger truly fills with live jobs.
 func (s *Server) remember(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
 	for len(s.jobOrder) > maxJobLedger {
-		delete(s.jobs, s.jobOrder[0])
-		s.jobOrder = s.jobOrder[1:]
+		evicted := false
+		for i, id := range s.jobOrder {
+			jj := s.jobs[id]
+			if jj == nil || terminal(jj.state.Load()) {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // every entry is live; run long until they settle
+		}
 	}
+}
+
+// forget removes a job the queue refused: the ledger must not hold an
+// entry for a submission that was answered 429.
+func (s *Server) forget(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.id)
+	for i := len(s.jobOrder) - 1; i >= 0; i-- {
+		if s.jobOrder[i] == j.id {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// terminal reports whether a job state is final.
+func terminal(state int32) bool {
+	return state == jobCompleted || state == jobFailed || state == jobCanceled
 }
 
 // jobStatus is the GET /jobs/{id} response.

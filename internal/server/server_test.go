@@ -4,14 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"aibench/internal/results"
+	"aibench/internal/tensor"
 )
 
 func newTestServer(t *testing.T, opts Options, start bool) (*Server, *httptest.Server) {
@@ -441,6 +446,266 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if snap := s.stats.Snapshot(); snap.JobsAccepted != 0 {
 		t.Fatalf("validation failures were admitted: %+v", snap)
+	}
+}
+
+// TestKernelGateExcludesDifferingSignatures: the gate admits any
+// number of same-signature jobs but never lets two different
+// signatures inside together — the invariant that keeps one job's
+// kernel switch from corrupting another's in-flight run.
+func TestKernelGateExcludesDifferingSignatures(t *testing.T) {
+	g := newKernelGate()
+	var aInside, bInside atomic.Int32
+	var overlap atomic.Bool
+	var wg sync.WaitGroup
+	work := func(sig string, mine, other *atomic.Int32) {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			g.acquire(sig)
+			mine.Add(1)
+			if other.Load() != 0 {
+				overlap.Store(true)
+			}
+			mine.Add(-1)
+			g.release()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go work("naive\x00", &aInside, &bInside)
+		go work("blocked\x00", &bInside, &aInside)
+	}
+	wg.Wait()
+	if overlap.Load() {
+		t.Fatal("jobs with different kernel signatures were inside the gate concurrently")
+	}
+}
+
+// TestConcurrentMixedKernelJobsStayExact: with Workers > 1 and
+// submissions naming different kernels, every response must be
+// byte-identical to the same plan run alone on a serial server — a
+// concurrent job's kernel switch must never leak into another job's
+// dispatch (the cached-forever corruption the kernel gate exists to
+// prevent).
+func TestConcurrentMixedKernelJobsStayExact(t *testing.T) {
+	prev := tensor.ActiveKernels().Name()
+	defer func() {
+		if err := tensor.UseKernels(prev); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	plan := func(seed int, kernel string) string {
+		return fmt.Sprintf(`{"kind":"session","session":"quasi-entire","benchmarks":["DC-AI-C1"],"seed":%d,"epochs":1,"kernel":%q}`, seed, kernel)
+	}
+	plans := []string{
+		plan(11, "naive"),
+		plan(12, "blocked"),
+		plan(13, "naive"),
+		plan(14, "blocked"),
+	}
+
+	_, serial := newTestServer(t, Options{Workers: 1, QueueCap: 8}, true)
+	want := make([][]byte, len(plans))
+	for i, p := range plans {
+		resp := submit(t, serial, "ref", p)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference run %d: status %d err %v", i, resp.StatusCode, err)
+		}
+		want[i] = body
+	}
+
+	_, mixed := newTestServer(t, Options{Workers: 4, QueueCap: 8}, true)
+	got := make([][]byte, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for i, p := range plans {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, mixed.URL+"/jobs", strings.NewReader(p))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			req.Header.Set("X-Tenant", fmt.Sprintf("tenant-%d", i))
+			resp, err := mixed.Client().Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			got[i], errs[i] = io.ReadAll(resp.Body)
+		}(i, p)
+	}
+	wg.Wait()
+	for i := range plans {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(want[i], got[i]) {
+			t.Errorf("concurrent run %d diverged from its solo reference; a foreign kernel switch leaked into the run", i)
+		}
+	}
+}
+
+// TestDisconnectWhileQueuedFreesCapacity: a client abandoning a job
+// that is still queued releases its queue slot immediately — later
+// submissions must be admitted, not bounced with 429 off capacity held
+// by a ghost.
+func TestDisconnectWhileQueuedFreesCapacity(t *testing.T) {
+	s := New(Options{QueueCap: 1}) // workers never started: jobs park in the queue
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/jobs", strings.NewReader(smallPlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "alice")
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, derr := ts.Client().Do(req)
+		if derr == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, "first job queued", func() bool { return s.queue.depth() == 1 })
+
+	cancel() // client walks away while queued
+	<-firstDone
+	waitFor(t, "capacity released", func() bool { return s.queue.depth() == 0 })
+	if snap := s.stats.Snapshot(); snap.JobsCanceled != 1 || snap.QueueDepth != 0 {
+		t.Fatalf("stats after queued disconnect = %+v, want canceled 1, depth 0", snap)
+	}
+
+	// The freed slot admits the next submission instead of rejecting it.
+	secondDone := make(chan struct{})
+	go func() {
+		defer close(secondDone)
+		resp := submit(t, ts, "bob", smallPlan)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	waitFor(t, "second job queued", func() bool { return s.queue.depth() == 1 })
+	if snap := s.stats.Snapshot(); snap.JobsRejected != 0 || snap.JobsAccepted != 2 {
+		t.Fatalf("stats after resubmission = %+v, want rejected 0, accepted 2", snap)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case <-secondDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain left the second handler blocked")
+	}
+}
+
+// TestQueuedJobVisibleInLedgerAndRejectionLeavesNoEntry: an admitted
+// job is in the status ledger from the moment its X-Job-Id can reach
+// the client (no transient 404 window), and a 429'd submission leaves
+// no ledger entry behind.
+func TestQueuedJobVisibleInLedgerAndRejectionLeavesNoEntry(t *testing.T) {
+	s := New(Options{QueueCap: 1}) // workers never started
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp := submit(t, ts, "alice", smallPlan)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	waitFor(t, "first job queued", func() bool { return s.queue.depth() == 1 })
+
+	s.mu.Lock()
+	if len(s.jobOrder) != 1 {
+		s.mu.Unlock()
+		t.Fatal("queued job missing from the status ledger")
+	}
+	id := s.jobOrder[0]
+	s.mu.Unlock()
+
+	st, err := ts.Client().Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status jobStatus
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if st.StatusCode != http.StatusOK || status.State != "queued" {
+		t.Fatalf("queued job status: HTTP %d, %+v", st.StatusCode, status)
+	}
+
+	// A shed submission (queue full) must not linger in the ledger.
+	second := submit(t, ts, "bob", smallPlan)
+	_, _ = io.Copy(io.Discard, second.Body)
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", second.StatusCode)
+	}
+	s.mu.Lock()
+	ledger := len(s.jobOrder)
+	entries := len(s.jobs)
+	s.mu.Unlock()
+	if ledger != 1 || entries != 1 {
+		t.Fatalf("ledger holds %d/%d entries after a rejection, want 1/1", ledger, entries)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-firstDone
+}
+
+// TestImpatientShutdownHonorsDrainTimeout: once the drain deadline
+// passes, Shutdown cancels the in-flight run (it stops at the next
+// epoch boundary) and returns the deadline error instead of blocking
+// until the run would have finished naturally.
+func TestImpatientShutdownHonorsDrainTimeout(t *testing.T) {
+	s := New(Options{Workers: 1, QueueCap: 4})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	long := `{"kind":"session","session":"quasi-entire","benchmarks":["DC-AI-C1"],"seed":9,"epochs":100000}`
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		resp := submit(t, ts, "alice", long)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	waitFor(t, "job running", func() bool { return s.stats.Snapshot().WorkersBusy == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("impatient shutdown returned %v, want deadline exceeded", err)
+	}
+	select {
+	case <-handlerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("impatient shutdown left the in-flight handler blocked")
+	}
+	if snap := s.stats.Snapshot(); snap.JobsCanceled != 1 || snap.WorkersBusy != 0 {
+		t.Fatalf("stats after impatient shutdown = %+v, want canceled 1, busy 0", snap)
+	}
+	if s.cache.len() != 0 {
+		t.Fatal("interrupted run was cached; replays would not be exact")
 	}
 }
 
